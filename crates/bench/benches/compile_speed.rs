@@ -1,0 +1,37 @@
+//! Criterion bench for §4.7: scheduler compile speed, heuristic vs ILP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use swp_heur::HeurOptions;
+use swp_machine::Machine;
+use swp_most::MostOptions;
+
+fn bench(c: &mut Criterion) {
+    let m = Machine::r8000();
+    let saxpyish = swp_kernels::spec_suites()
+        .into_iter()
+        .find(|s| s.name == "ear")
+        .expect("ear exists");
+    let lp = saxpyish.loops[0].body.clone();
+    let mut g = c.benchmark_group("compile_speed");
+    g.bench_function("heuristic", |b| {
+        b.iter(|| swp_heur::pipeline(&lp, &m, &HeurOptions::default()).expect("ok").ii())
+    });
+    let most = MostOptions {
+        node_limit: 50_000,
+        time_limit: Some(Duration::from_secs(5)),
+        fallback: false,
+        ..MostOptions::default()
+    };
+    g.bench_function("ilp", |b| {
+        b.iter(|| swp_most::pipeline_most(&lp, &m, &most).expect("ok").ii())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

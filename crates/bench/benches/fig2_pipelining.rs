@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 2: pipelining enabled vs disabled.
+//!
+//! Benchmarks the *compile+simulate* pipeline for a representative
+//! memory-bound suite in both configurations; the experiments binary
+//! prints the full 14-suite figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use showdown::{run_suite, run_suite_baseline, SchedulerChoice};
+use swp_machine::Machine;
+
+fn bench(c: &mut Criterion) {
+    let m = Machine::r8000();
+    let suite = swp_kernels::spec_suites()
+        .into_iter()
+        .find(|s| s.name == "alvinn")
+        .expect("alvinn exists");
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("alvinn_pipelined", |b| {
+        b.iter(|| run_suite(&suite, &m, &SchedulerChoice::Heuristic).expect("pipelines").time)
+    });
+    g.bench_function("alvinn_baseline", |b| {
+        b.iter(|| run_suite_baseline(&suite, &m).time)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 3: single priority heuristics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swp_heur::{pipeline, HeurOptions, PriorityHeuristic};
+use swp_machine::Machine;
+
+fn bench(c: &mut Criterion) {
+    let m = Machine::r8000();
+    let kernels = swp_kernels::livermore();
+    let mut g = c.benchmark_group("fig3");
+    for h in PriorityHeuristic::ALL {
+        let opts = HeurOptions { heuristics: vec![h], ..HeurOptions::default() };
+        g.bench_function(format!("livermore_{h}"), |b| {
+            b.iter(|| {
+                kernels
+                    .iter()
+                    .filter(|k| pipeline(&k.body, &m, &opts).is_ok())
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

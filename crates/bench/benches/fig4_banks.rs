@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 4: memory-bank pairing on vs off
+//! (simulated stall behaviour of the alvinn-like suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use showdown::{run_suite, SchedulerChoice};
+use swp_heur::HeurOptions;
+use swp_machine::Machine;
+
+fn bench(c: &mut Criterion) {
+    let m = Machine::r8000();
+    let suite = swp_kernels::spec_suites()
+        .into_iter()
+        .find(|s| s.name == "alvinn")
+        .expect("alvinn exists");
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("banks_on", |b| {
+        b.iter(|| run_suite(&suite, &m, &SchedulerChoice::Heuristic).expect("ok").time)
+    });
+    let off = HeurOptions { bank_pairing: false, explore_stalls: false, ..HeurOptions::default() };
+    g.bench_function("banks_off", |b| {
+        b.iter(|| {
+            run_suite(&suite, &m, &SchedulerChoice::HeuristicWith(off.clone())).expect("ok").time
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 5: ILP vs heuristic scheduling of one
+//! Livermore kernel (the full figure is printed by the experiments
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use swp_heur::HeurOptions;
+use swp_machine::Machine;
+use swp_most::MostOptions;
+
+fn bench(c: &mut Criterion) {
+    let m = Machine::r8000();
+    let k3 = swp_kernels::livermore().into_iter().find(|k| k.number == 3).expect("k3");
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("heuristic_k3", |b| {
+        b.iter(|| swp_heur::pipeline(&k3.body, &m, &HeurOptions::default()).expect("ok").ii())
+    });
+    let most = MostOptions {
+        node_limit: 20_000,
+        time_limit: Some(Duration::from_secs(2)),
+        fallback: false,
+        ..MostOptions::default()
+    };
+    g.bench_function("most_k3", |b| {
+        b.iter(|| swp_most::pipeline_most(&k3.body, &m, &most).expect("ok").ii())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

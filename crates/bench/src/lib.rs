@@ -1,0 +1,544 @@
+//! Experiment implementations for every figure and table of the paper.
+//!
+//! Each `fig*`/`tab*` function returns structured data; the `experiments`
+//! binary renders them as the paper's rows, and the Criterion benches wrap
+//! the hot paths. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+
+use showdown::{
+    compare, compile_loop, geometric_mean, run_suite, run_suite_baseline, SchedulerChoice,
+};
+use std::time::{Duration, Instant};
+use swp_heur::{HeurOptions, PriorityHeuristic};
+use swp_kernels::{livermore, spec_suites, GenParams};
+use swp_machine::Machine;
+use swp_most::MostOptions;
+
+/// Experiment sizing: `quick` shrinks ILP budgets and trip counts so the
+/// whole harness runs in CI time; `full` uses paper-scale settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small budgets (tests, Criterion).
+    Quick,
+    /// Paper-scale budgets (the experiments binary).
+    Full,
+}
+
+impl Effort {
+    /// MOST options for this effort level.
+    pub fn most_options(self) -> MostOptions {
+        match self {
+            Effort::Quick => MostOptions {
+                node_limit: 20_000,
+                time_limit: Some(Duration::from_millis(500)),
+                loop_time_limit: Some(Duration::from_secs(4)),
+                max_ops: 64,
+                ..MostOptions::default()
+            },
+            Effort::Full => MostOptions {
+                node_limit: 2_000_000,
+                time_limit: Some(Duration::from_secs(10)),
+                loop_time_limit: Some(Duration::from_secs(120)),
+                ..MostOptions::default()
+            },
+        }
+    }
+
+    fn trip_scale(self) -> u64 {
+        match self {
+            Effort::Quick => 4,
+            Effort::Full => 1,
+        }
+    }
+}
+
+/// One row of Figure 2: SPECmark-style ratio of baseline to pipelined
+/// time (pipelining speedup; > 1 means pipelining wins).
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Simulated time with pipelining disabled.
+    pub baseline_time: f64,
+    /// Simulated time with the heuristic pipeliner.
+    pub pipelined_time: f64,
+}
+
+impl Fig2Row {
+    /// Speedup from enabling software pipelining.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time / self.pipelined_time.max(1e-12)
+    }
+}
+
+/// Figure 2: SPEC-like suites with pipelining enabled vs disabled.
+pub fn fig2(machine: &Machine, effort: Effort) -> Vec<Fig2Row> {
+    let mut rows = Vec::new();
+    for mut suite in spec_suites() {
+        for l in &mut suite.loops {
+            l.trip = (l.trip / effort.trip_scale()).max(8);
+        }
+        let base = run_suite_baseline(&suite, machine);
+        let pipe = run_suite(&suite, machine, &SchedulerChoice::Heuristic)
+            .expect("every suite loop pipelines");
+        rows.push(Fig2Row {
+            name: suite.name.to_owned(),
+            baseline_time: base.time,
+            pipelined_time: pipe.time,
+        });
+    }
+    rows
+}
+
+/// Geometric-mean speedup over Figure 2 rows.
+pub fn fig2_geomean(rows: &[Fig2Row]) -> f64 {
+    geometric_mean(&rows.iter().map(Fig2Row::speedup).collect::<Vec<_>>())
+}
+
+/// One row of Figure 3: per-suite time ratio of each single heuristic
+/// against all four (1.0 = as good as the full set; < 1 = slower).
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Ratio (all-four time / single-heuristic time) per heuristic, in
+    /// [`PriorityHeuristic::ALL`] order.
+    pub ratios: [f64; 4],
+}
+
+/// Figure 3: the effect of restricting to one scheduling heuristic.
+/// Loops the restricted pipeliner cannot handle fall back to the
+/// list-scheduled baseline, exactly as the production compiler would.
+pub fn fig3(machine: &Machine, effort: Effort) -> Vec<Fig3Row> {
+    use swp_sim::{simulate, simulate_baseline};
+    let mut rows = Vec::new();
+    for mut suite in spec_suites() {
+        for l in &mut suite.loops {
+            l.trip = (l.trip / effort.trip_scale()).max(8);
+        }
+        let suite_time = |choice: &SchedulerChoice| -> f64 {
+            let cycles: Vec<f64> = suite
+                .loops
+                .iter()
+                .map(|wl| match compile_loop(&wl.body, machine, choice) {
+                    Ok(c) => simulate(&c.code, wl.trip, machine).cycles as f64,
+                    Err(_) => {
+                        let base = showdown::compile_baseline(&wl.body, machine);
+                        simulate_baseline(&base, wl.trip, machine).cycles as f64
+                    }
+                })
+                .collect();
+            suite.aggregate_time(&cycles)
+        };
+        let all = suite_time(&SchedulerChoice::Heuristic);
+        let mut ratios = [0.0f64; 4];
+        for (i, h) in PriorityHeuristic::ALL.iter().enumerate() {
+            let opts = HeurOptions { heuristics: vec![*h], ..HeurOptions::default() };
+            ratios[i] = all / suite_time(&SchedulerChoice::HeuristicWith(opts));
+        }
+        rows.push(Fig3Row { name: suite.name.to_owned(), ratios });
+    }
+    rows
+}
+
+/// One row of Figure 4: performance improvement from the memory-bank
+/// pairing heuristics (> 1 = banks heuristic helps).
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Time with the heuristic disabled / time with it enabled.
+    pub improvement: f64,
+}
+
+/// Figure 4: memory-bank heuristic on vs off.
+pub fn fig4(machine: &Machine, effort: Effort) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for mut suite in spec_suites() {
+        for l in &mut suite.loops {
+            l.trip = (l.trip / effort.trip_scale()).max(8);
+        }
+        let on = run_suite(&suite, machine, &SchedulerChoice::Heuristic)
+            .expect("pipelines")
+            .time;
+        let off_opts = HeurOptions {
+            bank_pairing: false,
+            explore_stalls: false,
+            ..HeurOptions::default()
+        };
+        let off = run_suite(&suite, machine, &SchedulerChoice::HeuristicWith(off_opts))
+            .expect("pipelines")
+            .time;
+        rows.push(Fig4Row { name: suite.name.to_owned(), improvement: off / on });
+    }
+    rows
+}
+
+/// One row of Figure 5: ILP-scheduled code relative to MIPSpro, with the
+/// SGI bank pairing enabled (solid bars) and disabled (striped bars).
+/// Values > 1 mean the ILP code is faster.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub name: String,
+    /// heuristic-time / ILP-time, SGI bank pairing on.
+    pub vs_pairing: f64,
+    /// heuristic-time / ILP-time, SGI bank pairing off.
+    pub vs_no_pairing: f64,
+    /// Fraction of suite loops where MOST fell back to the heuristic.
+    pub fallback_fraction: f64,
+}
+
+/// Figure 5: the showdown — ILP vs heuristic on the SPEC-like suites.
+pub fn fig5(machine: &Machine, effort: Effort) -> Vec<Fig5Row> {
+    let most = SchedulerChoice::IlpWith(effort.most_options());
+    let mut rows = Vec::new();
+    for mut suite in spec_suites() {
+        for l in &mut suite.loops {
+            l.trip = (l.trip / effort.trip_scale()).max(8);
+        }
+        let ilp = run_suite(&suite, machine, &most).expect("most with fallback");
+        let heur_on = run_suite(&suite, machine, &SchedulerChoice::Heuristic)
+            .expect("pipelines")
+            .time;
+        let off_opts = HeurOptions {
+            bank_pairing: false,
+            explore_stalls: false,
+            ..HeurOptions::default()
+        };
+        let heur_off = run_suite(&suite, machine, &SchedulerChoice::HeuristicWith(off_opts))
+            .expect("pipelines")
+            .time;
+        // Count fallbacks by recompiling each loop individually.
+        let mut fallbacks = 0usize;
+        for wl in &suite.loops {
+            if let Ok(c) = compile_loop(&wl.body, machine, &most) {
+                fallbacks += usize::from(c.stats.fell_back);
+            }
+        }
+        rows.push(Fig5Row {
+            name: suite.name.to_owned(),
+            vs_pairing: heur_on / ilp.time,
+            vs_no_pairing: heur_off / ilp.time,
+            fallback_fraction: fallbacks as f64 / suite.loops.len() as f64,
+        });
+    }
+    rows
+}
+
+/// One row of Figure 6 / Figure 7: a Livermore kernel compared across
+/// schedulers.
+#[derive(Debug, Clone)]
+pub struct LivermoreRow {
+    /// Kernel number (1-24).
+    pub number: u32,
+    /// Kernel name.
+    pub name: &'static str,
+    /// heuristic/ILP cycle ratio at the short trip count (Fig. 6).
+    pub relative_short: f64,
+    /// heuristic/ILP cycle ratio at the long trip count (Fig. 6).
+    pub relative_long: f64,
+    /// MIPSpro − ILP total registers (Fig. 7).
+    pub reg_delta: i64,
+    /// MIPSpro − ILP overhead cycles (Fig. 7).
+    pub overhead_delta: i64,
+    /// Whether both schedulers reached the same II.
+    pub same_ii: bool,
+    /// Whether MOST fell back.
+    pub ilp_fell_back: bool,
+}
+
+/// Figures 6 and 7: per-Livermore-kernel comparison.
+pub fn fig6_fig7(machine: &Machine, effort: Effort) -> Vec<LivermoreRow> {
+    let most = SchedulerChoice::IlpWith(effort.most_options());
+    let mut rows = Vec::new();
+    for k in livermore() {
+        let c = compare(
+            &k.body,
+            machine,
+            &SchedulerChoice::Heuristic,
+            &most,
+            k.short_trip,
+            k.long_trip / effort.trip_scale().min(2),
+        )
+        .expect("both schedulers handle Livermore");
+        rows.push(LivermoreRow {
+            number: k.number,
+            name: k.name,
+            relative_short: c.relative_short(),
+            relative_long: c.relative_long(),
+            reg_delta: c.reg_delta(),
+            overhead_delta: c.overhead_delta(),
+            same_ii: c.heuristic.ii == c.ilp.ii,
+            ilp_fell_back: c.ilp.fell_back,
+        });
+    }
+    rows
+}
+
+/// §4.7's compile-speed comparison over a set of loops.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileSpeed {
+    /// Wall-clock in the heuristic scheduler.
+    pub heuristic: Duration,
+    /// Wall-clock in the ILP scheduler (no fallback, so failures burn
+    /// their full budget as in the paper's 3-minute limit).
+    pub ilp: Duration,
+    /// Loops measured.
+    pub loops: usize,
+}
+
+impl CompileSpeed {
+    /// The paper's ratio (67,634 s / 261 s ≈ 260×).
+    pub fn ratio(&self) -> f64 {
+        self.ilp.as_secs_f64() / self.heuristic.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Table (§4.7): total scheduling time, heuristic vs ILP.
+pub fn compile_speed(machine: &Machine, effort: Effort) -> CompileSpeed {
+    let loops: Vec<_> = spec_suites()
+        .into_iter()
+        .flat_map(|s| s.loops.into_iter().map(|l| l.body))
+        .collect();
+    let h0 = Instant::now();
+    for lp in &loops {
+        let _ = swp_heur::pipeline(lp, machine, &HeurOptions::default());
+    }
+    let heuristic = h0.elapsed();
+    let most_opts = MostOptions { fallback: false, ..effort.most_options() };
+    let i0 = Instant::now();
+    for lp in &loops {
+        let _ = swp_most::pipeline_most(lp, machine, &most_opts);
+    }
+    let ilp = i0.elapsed();
+    CompileSpeed { heuristic, ilp, loops: loops.len() }
+}
+
+/// §5.0's loop-size scalability: largest random loop each scheduler
+/// handles within a fixed per-loop budget.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopSize {
+    /// Largest op count the heuristic scheduled.
+    pub heuristic_max: usize,
+    /// Largest op count MOST (no fallback) scheduled.
+    pub most_max: usize,
+}
+
+/// Sweep loop sizes; per-loop budget fixed (the paper's 3-minute analogue).
+pub fn loop_size(machine: &Machine, effort: Effort) -> LoopSize {
+    let sizes: &[usize] = match effort {
+        Effort::Quick => &[10, 20, 30, 45, 60, 80, 100, 116],
+        Effort::Full => &[10, 20, 30, 45, 61, 80, 100, 116, 130],
+    };
+    let most_opts = MostOptions { fallback: false, ..effort.most_options() };
+    let mut heuristic_max = 0;
+    let mut most_max = 0;
+    for &ops in sizes {
+        let lp = swp_kernels::random_loop(&GenParams { ops, ..GenParams::default() }, 42);
+        if swp_heur::pipeline(&lp, machine, &HeurOptions::default()).is_ok() {
+            heuristic_max = heuristic_max.max(lp.len());
+        }
+        if swp_most::pipeline_most(&lp, machine, &most_opts).is_ok() {
+            most_max = most_max.max(lp.len());
+        }
+    }
+    LoopSize { heuristic_max, most_max }
+}
+
+/// §5.0's II comparison: on how many loops does each scheduler achieve a
+/// strictly lower II?
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IiCompare {
+    /// Loops where the ILP II is strictly lower.
+    pub ilp_wins: u32,
+    /// Loops where the heuristic II is strictly lower (MOST timed out to a
+    /// worse II or fell back at a higher one).
+    pub heur_wins: u32,
+    /// Equal IIs.
+    pub ties: u32,
+    /// ILP wins remaining after raising the heuristic backtrack budget
+    /// (§5.0: "a very modest increase in the backtracking limits …
+    /// equalized the situation").
+    pub ilp_wins_after_budget_increase: u32,
+}
+
+/// Table (§5.0): II comparison over Livermore + suite loops.
+pub fn ii_compare(machine: &Machine, effort: Effort) -> IiCompare {
+    let most_opts = MostOptions { fallback: false, ..effort.most_options() };
+    let mut out = IiCompare::default();
+    let mut loops: Vec<swp_ir::Loop> = livermore().into_iter().map(|k| k.body).collect();
+    loops.extend(spec_suites().into_iter().flat_map(|s| s.loops.into_iter().map(|l| l.body)));
+    for lp in &loops {
+        let Ok(h) = swp_heur::pipeline(lp, machine, &HeurOptions::default()) else { continue };
+        let Ok(i) = swp_most::pipeline_most(lp, machine, &most_opts) else { continue };
+        match i.ii().cmp(&h.ii()) {
+            std::cmp::Ordering::Less => {
+                out.ilp_wins += 1;
+                // Retry with 16× backtrack budget.
+                let big = HeurOptions { backtrack_budget: 6400, ..HeurOptions::default() };
+                if let Ok(h2) = swp_heur::pipeline(lp, machine, &big) {
+                    if h2.ii() > i.ii() {
+                        out.ilp_wins_after_budget_increase += 1;
+                    }
+                } else {
+                    out.ilp_wins_after_budget_increase += 1;
+                }
+            }
+            std::cmp::Ordering::Greater => out.heur_wins += 1,
+            std::cmp::Ordering::Equal => out.ties += 1,
+        }
+    }
+    out
+}
+
+/// Ablation (§3.3 adj. 3): MOST with and without priority-order branching.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderAblation {
+    /// Loops solved (no fallback) with priority orders.
+    pub solved_with: u32,
+    /// Loops solved without.
+    pub solved_without: u32,
+    /// Total nodes with priority orders.
+    pub nodes_with: u64,
+    /// Total nodes without.
+    pub nodes_without: u64,
+}
+
+/// Ablation: the effect of branch priority orders on MOST.
+pub fn ablation_order(machine: &Machine, effort: Effort) -> OrderAblation {
+    let base = MostOptions { fallback: false, ..effort.most_options() };
+    let with = MostOptions { use_priority_orders: true, ..base.clone() };
+    let without = MostOptions { use_priority_orders: false, ..base };
+    let mut out = OrderAblation { solved_with: 0, solved_without: 0, nodes_with: 0, nodes_without: 0 };
+    for k in livermore() {
+        if let Ok(r) = swp_most::pipeline_most(&k.body, machine, &with) {
+            out.solved_with += 1;
+            out.nodes_with += r.stats.nodes;
+        }
+        if let Ok(r) = swp_most::pipeline_most(&k.body, machine, &without) {
+            out.solved_without += 1;
+            out.nodes_without += r.stats.nodes;
+        }
+    }
+    out
+}
+
+/// Ablation (§2.3): two-phase II search vs plain binary search.
+#[derive(Debug, Clone, Copy)]
+pub struct IiSearchAblation {
+    /// Total scheduling attempts with the two-phase search.
+    pub attempts_two_phase: u32,
+    /// Total scheduling attempts with plain binary search.
+    pub attempts_binary: u32,
+    /// Whether every loop achieved the same II under both.
+    pub same_quality: bool,
+}
+
+/// Ablation: II-search strategy (§2.3 claims identical quality, better
+/// compile speed for the two-phase search).
+pub fn ablation_ii_search(machine: &Machine) -> IiSearchAblation {
+    let two = HeurOptions::default();
+    let bin = HeurOptions { two_phase_search: false, ..HeurOptions::default() };
+    let mut a2 = 0;
+    let mut ab = 0;
+    let mut same = true;
+    for k in livermore() {
+        let r2 = swp_heur::pipeline(&k.body, machine, &two);
+        let rb = swp_heur::pipeline(&k.body, machine, &bin);
+        if let (Ok(r2), Ok(rb)) = (r2, rb) {
+            a2 += r2.stats.attempts;
+            ab += rb.stats.attempts;
+            same &= r2.ii() == rb.ii();
+        }
+    }
+    IiSearchAblation { attempts_two_phase: a2, attempts_binary: ab, same_quality: same }
+}
+
+/// Ablation (§2.8): spilling on vs off on high-pressure loops.
+#[derive(Debug, Clone, Copy)]
+pub struct SpillAblation {
+    /// High-pressure loops pipelined with spilling enabled.
+    pub with_spilling: u32,
+    /// …and with spilling disabled.
+    pub without_spilling: u32,
+    /// Loops attempted.
+    pub total: u32,
+}
+
+/// Ablation: exponential spilling rescues register-pressure failures.
+pub fn ablation_spill(machine: &Machine) -> SpillAblation {
+    // A small register file makes pressure bite.
+    let tiny = swp_machine::MachineBuilder::new("tiny-regs")
+        .allocatable(swp_machine::RegClass::Float, 8)
+        .build();
+    let _ = machine;
+    let on = HeurOptions::default();
+    let off = HeurOptions { enable_spilling: false, ..HeurOptions::default() };
+    let mut out = SpillAblation { with_spilling: 0, without_spilling: 0, total: 0 };
+    for seed in 0..8u64 {
+        let lp = swp_kernels::random_loop(
+            &GenParams { ops: 24, mem_fraction: 0.25, recurrences: 0, div_fraction: 0.0 },
+            seed,
+        );
+        out.total += 1;
+        if swp_heur::pipeline(&lp, &tiny, &on).is_ok() {
+            out.with_spilling += 1;
+        }
+        if swp_heur::pipeline(&lp, &tiny, &off).is_ok() {
+            out.without_spilling += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "integration-scale; run with --release")]
+    fn fig2_shape_pipelining_wins_big() {
+        let m = Machine::r8000();
+        let rows = fig2(&m, Effort::Quick);
+        assert_eq!(rows.len(), 14);
+        let g = fig2_geomean(&rows);
+        // Paper: >35% overall improvement. Shape check: well above 1.3.
+        assert!(g > 1.35, "geomean speedup {g}");
+        for r in &rows {
+            assert!(r.speedup() >= 1.0, "{}: pipelining never loses ({})", r.name, r.speedup());
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "integration-scale; run with --release")]
+    fn fig4_shape_alvinn_benefits_most() {
+        let m = Machine::r8000();
+        let rows = fig4(&m, Effort::Quick);
+        let alvinn = rows.iter().find(|r| r.name == "alvinn").expect("present");
+        assert!(
+            alvinn.improvement > 1.05,
+            "alvinn should gain from bank pairing: {}",
+            alvinn.improvement
+        );
+        for r in &rows {
+            assert!(r.improvement > 0.85, "{} not catastrophically hurt: {}", r.name, r.improvement);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "integration-scale; run with --release")]
+    fn ablation_ii_search_same_quality() {
+        let m = Machine::r8000();
+        let a = ablation_ii_search(&m);
+        assert!(a.same_quality, "II quality must not depend on the search strategy");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "integration-scale; run with --release")]
+    fn ablation_spill_rescues() {
+        let m = Machine::r8000();
+        let a = ablation_spill(&m);
+        assert!(a.with_spilling >= a.without_spilling);
+    }
+}

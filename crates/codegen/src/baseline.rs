@@ -1,0 +1,214 @@
+//! The non-pipelined baseline: a simple list schedule of one iteration.
+//!
+//! §4.1 of the paper: "When software pipelining is disabled a fairly simple
+//! list scheduler is used." Iterations execute back to back with no
+//! overlap; the per-iteration cost includes trailing latencies so that
+//! loop-carried values are ready before the next iteration starts.
+
+use swp_ir::{Ddg, Loop, OpId, Schedule};
+use swp_machine::{Machine, ResourceClass};
+
+/// A list-scheduled, non-overlapped loop body.
+#[derive(Debug, Clone)]
+pub struct BaselineLoop {
+    body: Loop,
+    times: Vec<i64>,
+    cycles_per_iter: u64,
+}
+
+impl BaselineLoop {
+    /// The scheduled body.
+    pub fn body(&self) -> &Loop {
+        &self.body
+    }
+
+    /// Issue cycle of an op within one iteration.
+    pub fn time(&self, op: OpId) -> i64 {
+        self.times[op.index()]
+    }
+
+    /// All per-iteration issue cycles.
+    pub fn times(&self) -> &[i64] {
+        &self.times
+    }
+
+    /// Cycles per iteration (makespan including trailing latencies).
+    pub fn cycles_per_iter(&self) -> u64 {
+        self.cycles_per_iter
+    }
+
+    /// Stall-free cycles for `n` iterations (sequential execution).
+    pub fn static_cycles(&self, n: u64) -> u64 {
+        n * self.cycles_per_iter
+    }
+
+    /// View the baseline as a degenerate modulo schedule whose II equals
+    /// the full iteration length (useful for shared analysis code).
+    pub fn as_schedule(&self) -> Schedule {
+        Schedule::new(self.cycles_per_iter.max(1) as u32, self.times.clone())
+    }
+}
+
+/// Greedy critical-path list scheduling of a single iteration.
+///
+/// Loop-carried arcs are ignored during placement (they are satisfied by
+/// sequential iteration execution); distance-0 arcs and machine resources
+/// are respected exactly.
+pub fn list_schedule(lp: &Loop, ddg: &Ddg, machine: &Machine) -> BaselineLoop {
+    let n = lp.len();
+    // Heights on distance-0 arcs for the priority.
+    let mut height = vec![0i64; n];
+    let mut changed = true;
+    let mut guard = 0;
+    while changed && guard <= n + 1 {
+        changed = false;
+        guard += 1;
+        for e in ddg.edges() {
+            if e.distance == 0 {
+                let cand = height[e.to.index()] + e.latency;
+                if cand > height[e.from.index()] {
+                    height[e.from.index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    let mut order: Vec<OpId> = lp.ops().iter().map(|o| o.id).collect();
+    order.sort_by_key(|&o| (std::cmp::Reverse(height[o.index()]), o));
+
+    // Expanding (non-modulo) resource rows.
+    let mut rows: Vec<[u32; 4]> = Vec::new();
+    let mut limits = [0u32; 4];
+    for class in ResourceClass::ALL {
+        limits[class.index()] = machine.units(class);
+    }
+    let mut times = vec![-1i64; n];
+    let mut remaining: Vec<OpId> = order;
+    while !remaining.is_empty() {
+        // Pick the highest-priority ready op (all distance-0 preds placed).
+        let idx = remaining
+            .iter()
+            .position(|&o| {
+                ddg.pred_edges(o)
+                    .filter(|e| e.distance == 0 && e.from != o)
+                    .all(|e| times[e.from.index()] >= 0)
+            })
+            .expect("acyclic at distance 0: some op is ready");
+        let op = remaining.remove(idx);
+        let ready = ddg
+            .pred_edges(op)
+            .filter(|e| e.distance == 0 && e.from != op)
+            .map(|e| times[e.from.index()] + e.latency)
+            .max()
+            .unwrap_or(0)
+            .max(0);
+        let class = lp.op(op).class;
+        let mut c = ready;
+        loop {
+            // Grow rows as needed and test the reservations.
+            let need_until = c + i64::from(machine.reservations(class).iter().map(|r| r.duration).max().unwrap_or(1));
+            while (rows.len() as i64) < need_until {
+                rows.push([0; 4]);
+            }
+            let fits = machine.reservations(class).iter().all(|r| {
+                (0..r.duration).all(|d| {
+                    let row = (c + i64::from(d)) as usize;
+                    rows[row][r.class.index()] < limits[r.class.index()]
+                })
+            });
+            if fits {
+                for r in machine.reservations(class) {
+                    for d in 0..r.duration {
+                        rows[(c + i64::from(d)) as usize][r.class.index()] += 1;
+                    }
+                }
+                times[op.index()] = c;
+                break;
+            }
+            c += 1;
+        }
+    }
+
+    let cycles_per_iter = lp
+        .ops()
+        .iter()
+        .map(|o| times[o.id.index()] + i64::from(machine.latency(o.class)))
+        .max()
+        .unwrap_or(1)
+        .max(1) as u64;
+    BaselineLoop { body: lp.clone(), times, cycles_per_iter }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::LoopBuilder;
+    use swp_machine::Machine;
+
+    #[test]
+    fn baseline_respects_latencies() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(y, 0, 8, w);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        let base = list_schedule(&lp, &ddg, &m);
+        assert!(base.time(lp.ops()[1].id) >= base.time(lp.ops()[0].id) + 4);
+        assert!(base.time(lp.ops()[2].id) >= base.time(lp.ops()[1].id) + 4);
+        // Chain load(4) + fadd(4) + store(1): at least 9 cycles per iter.
+        assert!(base.cycles_per_iter() >= 9);
+    }
+
+    #[test]
+    fn baseline_is_much_slower_than_pipeline() {
+        // The headline effect of Figure 2: pipelining wins big on parallel
+        // loops.
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let a = b.invariant_f("a");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let xv = b.load(x, 0, 8);
+        let yv = b.load(y, 0, 8);
+        let r = b.fmadd(a, xv, yv);
+        b.store(y, 0, 8, r);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        let base = list_schedule(&lp, &ddg, &m);
+        let p = swp_heur::pipeline(&lp, &m, &swp_heur::HeurOptions::default()).expect("pipelines");
+        assert!(
+            base.cycles_per_iter() as u32 >= 3 * p.schedule.ii(),
+            "baseline {} vs II {}",
+            base.cycles_per_iter(),
+            p.schedule.ii()
+        );
+    }
+
+    #[test]
+    fn baseline_resources_respected() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v1 = b.load(x, 0, 8);
+        let v2 = b.load(x, 800, 8);
+        let v3 = b.load(x, 1600, 8);
+        let s1 = b.fadd(v1, v2);
+        let s2 = b.fadd(s1, v3);
+        b.store(x, 80000, 8, s2);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        let base = list_schedule(&lp, &ddg, &m);
+        // No cycle holds 3 memory refs.
+        for c in 0..base.cycles_per_iter() as i64 {
+            let refs = lp
+                .mem_ops()
+                .filter(|o| base.time(o.id) == c)
+                .count();
+            assert!(refs <= 2, "cycle {c} has {refs} memory refs");
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Pipeline expansion: prologue / kernel / epilogue and overhead metrics.
+
+use swp_ir::{Loop, OpId, Schedule};
+use swp_machine::RegClass;
+use swp_regalloc::Allocation;
+
+/// One instruction of the expanded code: operation `op` executing on behalf
+/// of logical iteration `iteration`, issued at `cycle` (absolute from loop
+/// entry for prologue/epilogue, relative to the kernel window for kernel
+/// entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeOp {
+    /// The loop-body operation.
+    pub op: OpId,
+    /// Logical iteration index (prologue: 0-based; kernel/epilogue:
+    /// relative to the kernel's base iteration).
+    pub iteration: i64,
+    /// Issue cycle of this instance within its section.
+    pub cycle: i64,
+}
+
+/// Static overhead of entering and exiting the pipelined loop — the
+/// second-order quality measures the paper compares in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overhead {
+    /// Cycles before the steady state is reached (`(SC−1)·II`).
+    pub fill_cycles: i64,
+    /// Cycles to drain after the last kernel window (`span + 1 − II`).
+    pub drain_cycles: i64,
+    /// Cycles modeled for saving/restoring registers beyond the
+    /// caller-saved set around the loop.
+    pub reg_save_cycles: i64,
+    /// Instructions in the fill and drain code.
+    pub instructions: usize,
+}
+
+impl Overhead {
+    /// Total overhead in cycles (Figure 7's "overall pipeline overhead,
+    /// measured in cycles required to enter and exit the loop").
+    pub fn total_cycles(&self) -> i64 {
+        self.fill_cycles + self.drain_cycles + self.reg_save_cycles
+    }
+}
+
+/// Registers free for loop use without save/restore (model constant,
+/// documented in DESIGN.md): beyond this many per class, each extra
+/// register costs one save plus one restore cycle in the loop prologue and
+/// epilogue.
+const FREE_REGS_PER_CLASS: u32 = 16;
+
+/// A fully expanded software-pipelined loop, ready for simulation.
+///
+/// # Examples
+///
+/// ```
+/// use swp_heur::{pipeline, HeurOptions};
+/// use swp_ir::LoopBuilder;
+/// use swp_machine::Machine;
+/// use swp_codegen::PipelinedLoop;
+///
+/// let m = Machine::r8000();
+/// let mut b = LoopBuilder::new("scale");
+/// let a = b.invariant_f("a");
+/// let x = b.array("x", 8);
+/// let v = b.load(x, 0, 8);
+/// let w = b.fmul(a, v);
+/// b.store(x, 0, 8, w);
+/// let lp = b.finish();
+/// let p = pipeline(&lp, &m, &HeurOptions::default())?;
+/// let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
+/// assert!(code.stage_count() >= 2);
+/// assert!(code.overhead().total_cycles() > 0);
+/// # Ok::<(), swp_heur::PipelineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedLoop {
+    body: Loop,
+    schedule: Schedule,
+    unroll: u32,
+    stage_count: u32,
+    prologue: Vec<CodeOp>,
+    kernel: Vec<CodeOp>,
+    epilogue: Vec<CodeOp>,
+    overhead: Overhead,
+    regs: [u32; 2],
+}
+
+impl PipelinedLoop {
+    /// Expand a scheduled, allocated loop into fill + kernel + drain code.
+    pub fn expand(body: &Loop, schedule: &Schedule, allocation: &Allocation) -> PipelinedLoop {
+        let ii = i64::from(schedule.ii());
+        let sc = schedule.stage_count();
+        let span = schedule.span();
+
+        // Prologue: cycles [0, (SC-1)·II); iteration i's op instance at
+        // absolute cycle i·II + time(op).
+        let fill_end = i64::from(sc - 1) * ii;
+        let mut prologue = Vec::new();
+        for op in body.ops() {
+            let t = schedule.time(op.id);
+            let mut i = 0i64;
+            while i * ii + t < fill_end {
+                prologue.push(CodeOp { op: op.id, iteration: i, cycle: i * ii + t });
+                i += 1;
+            }
+        }
+        prologue.sort_by_key(|c| (c.cycle, c.op));
+
+        // Kernel: one II window of the steady state. An op at stage s
+        // executes on behalf of iteration (base − s).
+        let mut kernel = Vec::new();
+        for op in body.ops() {
+            kernel.push(CodeOp {
+                op: op.id,
+                iteration: -i64::from(schedule.stage(op.id)),
+                cycle: i64::from(schedule.row(op.id)),
+            });
+        }
+        kernel.sort_by_key(|c| (c.cycle, c.op));
+
+        // Epilogue: instances issuing after the last kernel window. An
+        // instance of iteration `N−s` (s ≥ 1) with op time `t` lands at
+        // epilogue cycle `t − s·II` when that is non-negative; iteration
+        // offsets are relative (−s = s iterations before the end).
+        let mut epilogue = Vec::new();
+        for op in body.ops() {
+            let t = schedule.time(op.id);
+            for s in 1..i64::from(sc) {
+                let c = t - s * ii;
+                if c >= 0 {
+                    epilogue.push(CodeOp { op: op.id, iteration: -s, cycle: c });
+                }
+            }
+        }
+        epilogue.sort_by_key(|c| (c.cycle, c.op));
+
+        let fp = allocation.regs_used(RegClass::Float);
+        let int = allocation.regs_used(RegClass::Int);
+        let reg_save_cycles = i64::from(fp.saturating_sub(FREE_REGS_PER_CLASS))
+            + i64::from(int.saturating_sub(FREE_REGS_PER_CLASS));
+        let overhead = Overhead {
+            fill_cycles: fill_end,
+            drain_cycles: span + 1 - ii,
+            reg_save_cycles,
+            instructions: prologue.len() + epilogue.len(),
+        };
+        PipelinedLoop {
+            body: body.clone(),
+            schedule: schedule.clone(),
+            unroll: allocation.unroll(),
+            stage_count: sc,
+            prologue,
+            kernel,
+            epilogue,
+            overhead,
+            regs: [fp, int],
+        }
+    }
+
+    /// The loop body this code was generated from.
+    pub fn body(&self) -> &Loop {
+        &self.body
+    }
+
+    /// The underlying modulo schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The achieved II.
+    pub fn ii(&self) -> u32 {
+        self.schedule.ii()
+    }
+
+    /// Overlapped stages in the steady state.
+    pub fn stage_count(&self) -> u32 {
+        self.stage_count
+    }
+
+    /// Kernel replication factor from modulo renaming.
+    pub fn unroll(&self) -> u32 {
+        self.unroll
+    }
+
+    /// Fill code.
+    pub fn prologue(&self) -> &[CodeOp] {
+        &self.prologue
+    }
+
+    /// One steady-state window.
+    pub fn kernel(&self) -> &[CodeOp] {
+        &self.kernel
+    }
+
+    /// Drain code.
+    pub fn epilogue(&self) -> &[CodeOp] {
+        &self.epilogue
+    }
+
+    /// Static entry/exit overhead.
+    pub fn overhead(&self) -> Overhead {
+        self.overhead
+    }
+
+    /// Registers used in a class (including invariants).
+    pub fn regs_used(&self, class: RegClass) -> u32 {
+        match class {
+            RegClass::Float => self.regs[0],
+            RegClass::Int => self.regs[1],
+        }
+    }
+
+    /// Total registers across classes (Figure 7's register metric).
+    pub fn total_regs(&self) -> u32 {
+        self.regs.iter().sum()
+    }
+
+    /// Total cycles to execute `n` iterations on a stall-free machine:
+    /// `(n−1)·II + span + 1` for `n ≥ 1`, plus register save/restore
+    /// overhead. The memory system may add stalls on top (see `swp-sim`).
+    pub fn static_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let ii = u64::from(self.schedule.ii());
+        (n - 1) * ii
+            + self.schedule.span() as u64
+            + 1
+            + self.overhead.reg_save_cycles as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_heur::{pipeline, HeurOptions};
+    use swp_ir::LoopBuilder;
+    use swp_machine::Machine;
+
+    fn expand_simple() -> PipelinedLoop {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(y, 0, 8, w);
+        let lp = b.finish();
+        let p = pipeline(&lp, &m, &HeurOptions::default()).expect("pipelines");
+        PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation)
+    }
+
+    #[test]
+    fn kernel_contains_every_op_once() {
+        let code = expand_simple();
+        assert_eq!(code.kernel().len(), code.body().len());
+        let mut ops: Vec<usize> = code.kernel().iter().map(|c| c.op.index()).collect();
+        ops.sort_unstable();
+        assert_eq!(ops, (0..code.body().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prologue_matches_fill_window() {
+        let code = expand_simple();
+        let fill = code.overhead().fill_cycles;
+        assert!(code.prologue().iter().all(|c| c.cycle < fill));
+        // Iteration 0's earliest op must be in the prologue when SC > 1.
+        if code.stage_count() > 1 {
+            assert!(code.prologue().iter().any(|c| c.iteration == 0));
+        }
+    }
+
+    #[test]
+    fn static_cycles_formula() {
+        let code = expand_simple();
+        let ii = u64::from(code.ii());
+        let one = code.static_cycles(1);
+        let many = code.static_cycles(101);
+        assert_eq!(many - one, 100 * ii, "marginal cost of an iteration is II");
+        assert_eq!(code.static_cycles(0), 0);
+    }
+
+    #[test]
+    fn overhead_counts_prologue_and_epilogue_instructions() {
+        let code = expand_simple();
+        assert_eq!(
+            code.overhead().instructions,
+            code.prologue().len() + code.epilogue().len()
+        );
+        // Every prologue instance has a matching skipped kernel slot:
+        // prologue instances = Σ_op stage(op).
+        let expected: i64 = code
+            .body()
+            .ops()
+            .iter()
+            .map(|o| i64::from(code.schedule().stage(o.id)))
+            .sum();
+        assert_eq!(code.prologue().len() as i64, expected);
+    }
+}

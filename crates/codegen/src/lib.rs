@@ -1,0 +1,32 @@
+//! Final code construction for software-pipelined loops.
+//!
+//! §3.2 of the paper notes that modulo renaming, pipeline fill and drain
+//! generation "and other related bookkeeping tasks … account for a large
+//! part of the job of implementing a working pipeliner" (18% of the
+//! MIPSpro pipeliner). This crate is that postprocessing: given a loop, a
+//! modulo [`swp_ir::Schedule`], and a register [`swp_regalloc::Allocation`],
+//! it builds a
+//! [`PipelinedLoop`] artifact — the prologue (fill), the modulo-renamed
+//! kernel, and the epilogue (drain) — and reports the static overhead
+//! measures of Figure 7 (registers used, cycles to enter and exit the
+//! loop).
+//!
+//! A non-pipelined baseline (a simple list schedule of one iteration, what
+//! MIPSpro falls back to with pipelining disabled, §4.1) lives in
+//! [`list_schedule`].
+
+mod baseline;
+mod expand;
+
+pub use baseline::{list_schedule, BaselineLoop};
+pub use expand::{CodeOp, Overhead, PipelinedLoop};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::PipelinedLoop>();
+        assert_send_sync::<crate::BaselineLoop>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Unified compilation entry points for both pipeliners.
+
+use swp_codegen::{list_schedule, BaselineLoop, PipelinedLoop};
+use swp_heur::{HeurOptions, PipelineError};
+use swp_ir::{Ddg, Loop};
+use swp_machine::Machine;
+use swp_most::{MostError, MostOptions};
+
+/// Which pipeliner to use.
+#[derive(Debug, Clone, Default)]
+pub enum SchedulerChoice {
+    /// The SGI-style heuristic pipeliner (§2) with its options.
+    #[default]
+    Heuristic,
+    /// The heuristic pipeliner with explicit options.
+    HeuristicWith(HeurOptions),
+    /// The MOST ILP pipeliner (§3) with default options.
+    Ilp,
+    /// The MOST pipeliner with explicit options.
+    IlpWith(MostOptions),
+}
+
+/// Result of compiling one loop.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// The expanded pipelined code.
+    pub code: PipelinedLoop,
+    /// Compile statistics.
+    pub stats: CompileStats,
+}
+
+/// Scheduler-independent compile statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileStats {
+    /// MinII of the (final) loop body.
+    pub min_ii: u32,
+    /// Achieved II.
+    pub ii: u32,
+    /// Whether the ILP path fell back to the heuristic pipeliner.
+    pub fell_back: bool,
+    /// Whether the ILP search certified rate-optimality at MinII.
+    pub optimal: bool,
+    /// Branch-and-bound nodes (ILP) or backtracks (heuristic).
+    pub search_effort: u64,
+    /// Values spilled (heuristic only).
+    pub spills: u32,
+}
+
+/// Why compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The heuristic pipeliner failed.
+    Heuristic(PipelineError),
+    /// The ILP pipeliner (and its fallback) failed.
+    Ilp(MostError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Heuristic(e) => write!(f, "heuristic pipeliner: {e}"),
+            CompileError::Ilp(e) => write!(f, "ILP pipeliner: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Software-pipeline a loop with the chosen scheduler and expand it to
+/// executable form.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the chosen pipeliner (including any
+/// fallback) cannot produce a schedule.
+pub fn compile_loop(
+    lp: &Loop,
+    machine: &Machine,
+    choice: &SchedulerChoice,
+) -> Result<CompiledLoop, CompileError> {
+    match choice {
+        SchedulerChoice::Heuristic => compile_heur(lp, machine, &HeurOptions::default()),
+        SchedulerChoice::HeuristicWith(opts) => compile_heur(lp, machine, opts),
+        SchedulerChoice::Ilp => compile_ilp(lp, machine, &MostOptions::default()),
+        SchedulerChoice::IlpWith(opts) => compile_ilp(lp, machine, opts),
+    }
+}
+
+fn compile_heur(
+    lp: &Loop,
+    machine: &Machine,
+    opts: &HeurOptions,
+) -> Result<CompiledLoop, CompileError> {
+    let p = swp_heur::pipeline(lp, machine, opts).map_err(CompileError::Heuristic)?;
+    let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
+    Ok(CompiledLoop {
+        code,
+        stats: CompileStats {
+            min_ii: p.stats.min_ii,
+            ii: p.schedule.ii(),
+            fell_back: false,
+            optimal: false,
+            search_effort: u64::from(p.stats.backtracks),
+            spills: p.stats.spills,
+        },
+    })
+}
+
+fn compile_ilp(
+    lp: &Loop,
+    machine: &Machine,
+    opts: &MostOptions,
+) -> Result<CompiledLoop, CompileError> {
+    let p = swp_most::pipeline_most(lp, machine, opts).map_err(CompileError::Ilp)?;
+    let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
+    Ok(CompiledLoop {
+        code,
+        stats: CompileStats {
+            min_ii: p.stats.min_ii,
+            ii: p.schedule.ii(),
+            fell_back: p.stats.fell_back,
+            optimal: p.stats.optimal_ii,
+            search_effort: p.stats.nodes,
+            spills: 0,
+        },
+    })
+}
+
+/// Build the non-pipelined baseline (software pipelining "disabled",
+/// §4.1): a simple list schedule executed sequentially.
+pub fn compile_baseline(lp: &Loop, machine: &Machine) -> BaselineLoop {
+    let ddg = Ddg::build(lp, machine);
+    list_schedule(lp, &ddg, machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::LoopBuilder;
+
+    fn saxpy() -> Loop {
+        let mut b = LoopBuilder::new("saxpy");
+        let a = b.invariant_f("a");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let xv = b.load(x, 0, 8);
+        let yv = b.load(y, 0, 8);
+        let r = b.fmadd(a, xv, yv);
+        b.store(y, 0, 8, r);
+        b.finish()
+    }
+
+    #[test]
+    fn both_schedulers_compile_saxpy_to_the_same_ii() {
+        let m = Machine::r8000();
+        let h = compile_loop(&saxpy(), &m, &SchedulerChoice::Heuristic).expect("heur");
+        let i = compile_loop(&saxpy(), &m, &SchedulerChoice::Ilp).expect("ilp");
+        assert_eq!(h.stats.ii, i.stats.ii);
+        assert_eq!(h.stats.min_ii, i.stats.min_ii);
+        assert!(!i.stats.fell_back);
+    }
+
+    #[test]
+    fn baseline_compiles() {
+        let m = Machine::r8000();
+        let base = compile_baseline(&saxpy(), &m);
+        assert!(base.cycles_per_iter() >= 9);
+    }
+}

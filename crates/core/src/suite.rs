@@ -1,0 +1,104 @@
+//! Whole-benchmark measurement: compile and simulate every hot loop of a
+//! SPEC-like suite and aggregate to a single relative time.
+
+use crate::compile::{compile_baseline, compile_loop, CompileError, SchedulerChoice};
+use swp_kernels::Suite;
+use swp_machine::Machine;
+use swp_sim::{simulate, simulate_baseline};
+
+/// Result of running one suite under one configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Suite name.
+    pub name: String,
+    /// Weighted aggregate time (arbitrary units; lower is better).
+    pub time: f64,
+    /// Per-loop cycle counts in suite order.
+    pub per_loop_cycles: Vec<u64>,
+    /// Per-loop achieved IIs (0 for the baseline configuration).
+    pub per_loop_ii: Vec<u32>,
+}
+
+/// Compile and simulate a suite with the given scheduler.
+///
+/// # Errors
+///
+/// Propagates the first loop that fails to compile.
+pub fn run_suite(
+    suite: &Suite,
+    machine: &Machine,
+    choice: &SchedulerChoice,
+) -> Result<SuiteResult, CompileError> {
+    let mut cycles = Vec::with_capacity(suite.loops.len());
+    let mut iis = Vec::with_capacity(suite.loops.len());
+    for wl in &suite.loops {
+        let c = compile_loop(&wl.body, machine, choice)?;
+        let r = simulate(&c.code, wl.trip, machine);
+        cycles.push(r.cycles);
+        iis.push(c.stats.ii);
+    }
+    let per: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+    Ok(SuiteResult {
+        name: suite.name.to_owned(),
+        time: suite.aggregate_time(&per),
+        per_loop_cycles: cycles,
+        per_loop_ii: iis,
+    })
+}
+
+/// Run a suite with software pipelining disabled (the list-scheduled
+/// baseline of §4.1).
+pub fn run_suite_baseline(suite: &Suite, machine: &Machine) -> SuiteResult {
+    let mut cycles = Vec::with_capacity(suite.loops.len());
+    for wl in &suite.loops {
+        let base = compile_baseline(&wl.body, machine);
+        let r = simulate_baseline(&base, wl.trip, machine);
+        cycles.push(r.cycles);
+    }
+    let per: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+    SuiteResult {
+        name: suite.name.to_owned(),
+        time: suite.aggregate_time(&per),
+        per_loop_cycles: cycles,
+        per_loop_ii: vec![0; suite.loops.len()],
+    }
+}
+
+/// Geometric mean of per-suite ratios — the SPEC aggregation the paper
+/// uses ("calculated as the geometric mean of the results on each
+/// benchmark").
+pub fn geometric_mean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.max(1e-12).ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_beats_baseline_on_alvinn() {
+        let m = Machine::r8000();
+        let suite = swp_kernels::spec_suites()
+            .into_iter()
+            .find(|s| s.name == "alvinn")
+            .expect("alvinn exists");
+        let pipe = run_suite(&suite, &m, &SchedulerChoice::Heuristic).expect("pipelines");
+        let base = run_suite_baseline(&suite, &m);
+        assert!(
+            base.time > 1.5 * pipe.time,
+            "baseline {} vs pipelined {}",
+            base.time,
+            pipe.time
+        );
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Memory bank pairing heuristics (§2.9).
+//!
+//! The R8000 services two same-cycle memory references only when they hit
+//! opposite cache banks; same-bank pairs queue in the one-entry bellows and
+//! eventually stall the pipe. MIPSpro therefore tries to co-schedule
+//! references *known* to be an even/odd pair whenever references must share
+//! a cycle, and avoids pairing references whose relative bank is unknown.
+//!
+//! Bank knowledge is static: two affine references with equal strides are
+//! opposite-bank in every iteration when their addresses differ by
+//! 8 (mod 16) and share the same double-word alignment; same-bank when they
+//! differ by 0 (mod 16). Anything else — unequal strides, indirect
+//! references (mdljdp2's indirection in §4.3) — is unknown.
+
+use crate::modsched::{AttemptStats, PairingView};
+use swp_ir::{Loop, MemAccess, OpId};
+use swp_machine::Machine;
+
+/// Static relative-bank knowledge for two references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelBank {
+    /// Opposite banks in every iteration (safe to pair).
+    KnownOpposite,
+    /// Same bank in every iteration (never pair).
+    KnownSame,
+    /// Cannot be determined at compile time.
+    Unknown,
+}
+
+/// Classify the relative bank of two memory accesses issued in the same
+/// cycle on behalf of the *same* iteration.
+pub fn relative_bank(lp: &Loop, a: &MemAccess, b: &MemAccess) -> RelBank {
+    classify_delta(lp, a, b, 0)
+}
+
+/// Classify the relative bank of two same-row references `a` at `t_a` and
+/// `b` at `t_b` (times must share a row mod II): the co-issued instances
+/// come from iterations `(t_a − t_b)/II` apart.
+pub fn relative_bank_at(
+    lp: &Loop,
+    a: &MemAccess,
+    t_a: i64,
+    b: &MemAccess,
+    t_b: i64,
+    ii: u32,
+) -> RelBank {
+    let dt = t_a - t_b;
+    debug_assert_eq!(dt.rem_euclid(i64::from(ii)), 0, "ops must share a row");
+    let stage_delta = dt / i64::from(ii);
+    classify_delta(lp, a, b, stage_delta)
+}
+
+/// Core classification: instance of `a` from iteration `i − k`, instance
+/// of `b` from iteration `i`, for all `i` (`k` = stage delta of `a` over
+/// `b`).
+fn classify_delta(lp: &Loop, a: &MemAccess, b: &MemAccess, stage_delta: i64) -> RelBank {
+    if a.indirect || b.indirect || a.stride != b.stride {
+        return RelBank::Unknown;
+    }
+    let addr = |m: &MemAccess| lp.array(m.array).base_align as i64 + m.offset;
+    let (aa, ab) = (addr(a) - a.stride * stage_delta, addr(b));
+    if aa.rem_euclid(8) != ab.rem_euclid(8) {
+        return RelBank::Unknown;
+    }
+    match (aa - ab).rem_euclid(16) {
+        8 => RelBank::KnownOpposite,
+        0 => RelBank::KnownSame,
+        _ => RelBank::Unknown,
+    }
+}
+
+/// The §2.9 pairing state threaded through one scheduling attempt.
+#[derive(Debug, Clone)]
+pub struct PairingContext {
+    /// For each op (by index): priority-ordered partner candidate ops.
+    partners: Vec<Vec<OpId>>,
+    /// Pairs that must share cycles at this II (`max(0, M − II)`).
+    pairs_needed: u32,
+    pairs_done: u32,
+}
+
+impl PairingContext {
+    /// Build pairing lists for a loop at a given II, with partner lists
+    /// ordered by the scheduling priority `order` (the paper forms `L(m)`
+    /// after priority orders are calculated).
+    pub fn new(lp: &Loop, order: &[OpId], ii: u32) -> PairingContext {
+        let mem_count = lp.mem_ops().count() as u32;
+        let pairs_needed = mem_count.saturating_sub(ii);
+        let mut partners = vec![Vec::new(); lp.len()];
+        let pos_of = |op: OpId| order.iter().position(|&o| o == op).expect("op in order");
+        for m in lp.mem_ops() {
+            let Some(am) = m.mem else { continue };
+            let mut list: Vec<OpId> = lp
+                .mem_ops()
+                .filter(|m2| m2.id != m.id)
+                .filter(|m2| {
+                    m2.mem
+                        .is_some_and(|a2| relative_bank(lp, &am, &a2) == RelBank::KnownOpposite)
+                })
+                .map(|m2| m2.id)
+                .collect();
+            list.sort_by_key(|&o| pos_of(o));
+            partners[m.id.index()] = list;
+        }
+        PairingContext { partners, pairs_needed, pairs_done: 0 }
+    }
+
+    /// Whether a reference has any known-opposite partner.
+    pub fn is_pairable(&self, op: OpId) -> bool {
+        !self.partners[op.index()].is_empty()
+    }
+
+    /// How many same-cycle pairs this attempt should form.
+    pub fn pairs_needed(&self) -> u32 {
+        self.pairs_needed
+    }
+
+    /// Pairs formed so far.
+    pub fn pairs_done(&self) -> u32 {
+        self.pairs_done
+    }
+
+    /// Reduce the pairing requirement (the §2.9 pressure response: "if
+    /// register allocation fails, it tries scheduling again with reduced
+    /// pairing requirements").
+    pub fn reduce_requirement(&mut self) {
+        self.pairs_needed /= 2;
+    }
+
+    /// Whether issuing `op` at `t_op` is bank-safe against the placed
+    /// `other` at `t_other` in the same kernel row: only known-opposite
+    /// pairs are. Known-same pairs guarantee stalls; unknown pairs risk
+    /// them (§4.3's mdljdp2 story: "memory references with unknowable
+    /// relative offsets are grouped together unnecessarily. The memory
+    /// bank heuristics prevent that grouping").
+    ///
+    /// Same-row ops `k` stages apart co-issue with instances from
+    /// iterations `k` apart, so the address delta gains `stride·k`
+    /// (`k = (t_op − t_other) / II`).
+    pub fn safe_together(lp: &Loop, op: OpId, t_op: i64, other: OpId, t_other: i64, ii: u32) -> bool {
+        let (Some(a), Some(b)) = (lp.op(op).mem, lp.op(other).mem) else {
+            return true;
+        };
+        relative_bank_at(lp, &a, t_op, &b, t_other, ii) == RelBank::KnownOpposite
+    }
+
+    /// Hook called by the scheduler right after placing op at priority
+    /// position `pos` in `cycle`: try to co-schedule the first possible
+    /// unscheduled partner in the same cycle (§2.9's primary move; the
+    /// paper's further fallbacks reuse the scheduler's own backtracking).
+    pub(crate) fn after_place(
+        &mut self,
+        view: &mut PairingView<'_, '_>,
+        pos: usize,
+        cycle: i64,
+        stats: &mut AttemptStats,
+    ) {
+        if self.pairs_done >= self.pairs_needed {
+            return;
+        }
+        let op = view.order[pos];
+        let list = &self.partners[op.index()];
+        if list.is_empty() {
+            return;
+        }
+        for &cand in list {
+            let cpos = view.pos_of[cand.index()];
+            if view.time[cand.index()].is_some() {
+                continue;
+            }
+            if view.try_place_at(cpos, cycle) {
+                self.pairs_done += 1;
+                stats.pairs_formed += 1;
+                if cpos != pos + 1 {
+                    stats.pairing_priority_changes += 1;
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Static stall-risk score of a schedule (lower is better): for every
+/// kernel row shared by two memory references, average over a window of
+/// iterations the bellows outcome — 1 for a known same-bank pair, 0 for
+/// known opposite, ½ for unknown. Used for the "small exploration of other
+/// schedules … searching for schedules with provably better stalling
+/// behavior" at the end of §2.9.
+pub fn stall_score(lp: &Loop, times: &[i64], ii: u32, machine: &Machine) -> f64 {
+    let Some(bank_model) = machine.bank_model() else { return 0.0 };
+    let mut rows: Vec<Vec<OpId>> = vec![Vec::new(); ii as usize];
+    for op in lp.mem_ops() {
+        let row = times[op.id.index()].rem_euclid(i64::from(ii)) as usize;
+        rows[row].push(op.id);
+    }
+    const WINDOW: i64 = 16;
+    let mut score = 0.0;
+    for row_ops in &rows {
+        for (i, &a) in row_ops.iter().enumerate() {
+            for &b in &row_ops[i + 1..] {
+                let ma = lp.op(a).mem.expect("mem op");
+                let mb = lp.op(b).mem.expect("mem op");
+                if ma.indirect || mb.indirect {
+                    score += 0.5;
+                    continue;
+                }
+                // Same row, possibly different stages: co-issued instances
+                // differ by (t_a − t_b)/II iterations.
+                let k = (times[a.index()] - times[b.index()]) / i64::from(ii);
+                let mut same = 0i64;
+                for it in WINDOW..(2 * WINDOW) {
+                    let ia = (it - k).max(0) as u64;
+                    let addr_a =
+                        (lp.array(ma.array).base_align as i64 + ma.addr_at(ia)) as u64;
+                    let addr_b = (lp.array(mb.array).base_align as i64 + mb.addr_at(it as u64)) as u64;
+                    if bank_model.bank_of(addr_a) == bank_model.bank_of(addr_b) {
+                        same += 1;
+                    }
+                }
+                score += same as f64 / WINDOW as f64;
+            }
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::LoopBuilder;
+
+    #[test]
+    fn relative_bank_classification() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v0 = b.load(x, 0, 16);
+        let v8 = b.load(x, 8, 16);
+        let v16 = b.load(x, 16, 16);
+        let s = b.fadd(v0, v8);
+        let s2 = b.fadd(s, v16);
+        b.store(x, 80000, 16, s2);
+        let lp = b.finish();
+        let m0 = lp.ops()[0].mem.unwrap();
+        let m8 = lp.ops()[1].mem.unwrap();
+        let m16 = lp.ops()[2].mem.unwrap();
+        assert_eq!(relative_bank(&lp, &m0, &m8), RelBank::KnownOpposite);
+        assert_eq!(relative_bank(&lp, &m0, &m16), RelBank::KnownSame);
+    }
+
+    #[test]
+    fn unequal_strides_are_unknown() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.load(y, 8, 16);
+        let s = b.fadd(v, w);
+        b.store(x, 80000, 8, s);
+        let lp = b.finish();
+        let ma = lp.ops()[0].mem.unwrap();
+        let mb = lp.ops()[1].mem.unwrap();
+        assert_eq!(relative_bank(&lp, &ma, &mb), RelBank::Unknown);
+    }
+
+    #[test]
+    fn single_precision_even_alignment_is_same_bank() {
+        // 4-byte elements: v[i] and v[i+1] are 4 bytes apart — different
+        // double-word alignment → unknown; v[i] and v[i+2] (8 apart, same
+        // alignment) → opposite.
+        let mut b = LoopBuilder::new("t");
+        let v = b.array("v", 4);
+        let a = b.load(v, 0, 16);
+        let bq = b.load(v, 4, 16);
+        let c = b.load(v, 8, 16);
+        let s = b.fadd(a, bq);
+        let s2 = b.fadd(s, c);
+        b.store(v, 80000, 16, s2);
+        let lp = b.finish();
+        let m0 = lp.ops()[0].mem.unwrap();
+        let m4 = lp.ops()[1].mem.unwrap();
+        let m8 = lp.ops()[2].mem.unwrap();
+        assert_eq!(relative_bank(&lp, &m0, &m4), RelBank::Unknown);
+        assert_eq!(relative_bank(&lp, &m0, &m8), RelBank::KnownOpposite);
+    }
+
+    #[test]
+    fn stage_shift_flips_bank_relation() {
+        // Two refs 8 bytes apart with stride 8: opposite when co-issued at
+        // the same stage, but SAME bank when one is a stage later at II=1
+        // (the shift subtracts one stride: 8 − 8 = 0 mod 16). This is the
+        // wave5.field pattern that a purely static check gets wrong.
+        let mut b = LoopBuilder::new("t");
+        let f = b.array("f", 8);
+        let a = b.load(f, 0, 8);
+        let c = b.load(f, 8, 8);
+        let s = b.fadd(a, c);
+        b.store(f, 800000, 8, s);
+        let lp = b.finish();
+        let ma = lp.ops()[0].mem.unwrap();
+        let mb = lp.ops()[1].mem.unwrap();
+        assert_eq!(relative_bank(&lp, &mb, &ma), RelBank::KnownOpposite);
+        // Same row at II=2 but 3 stages apart: delta = 8 − 8·3 = −16 ≡ 0.
+        assert_eq!(relative_bank_at(&lp, &mb, 7, &ma, 1, 2), RelBank::KnownSame);
+        // 2 stages apart: delta = 8 − 16 = −8 ≡ 8 → opposite again.
+        assert_eq!(relative_bank_at(&lp, &mb, 5, &ma, 1, 2), RelBank::KnownOpposite);
+    }
+
+    #[test]
+    fn stall_score_accounts_for_stage_deltas() {
+        let machine = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let f = b.array("f", 8);
+        let a = b.load(f, 0, 8);
+        let c = b.load(f, 8, 8);
+        let s = b.fadd(a, c);
+        b.store(f, 800000, 8, s);
+        let lp = b.finish();
+        // Same cycle: opposite banks → score 0.
+        let same_cycle = vec![0, 0, 4, 9];
+        assert_eq!(stall_score(&lp, &same_cycle, 2, &machine), 0.0);
+        // Same row, 3 stages apart: same bank every iteration → score 1.
+        let shifted = vec![1, 7, 11, 16];
+        assert_eq!(stall_score(&lp, &shifted, 2, &machine), 1.0);
+    }
+
+    #[test]
+    fn stall_score_prefers_opposite_pairs() {
+        let machine = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v0 = b.load(x, 0, 16);
+        let v8 = b.load(x, 8, 16);
+        let v16 = b.load(x, 16, 16);
+        let v24 = b.load(x, 24, 16);
+        let s1 = b.fadd(v0, v8);
+        let s2 = b.fadd(v16, v24);
+        let s = b.fadd(s1, s2);
+        b.store(x, 80000, 16, s);
+        let lp = b.finish();
+        // Pairing (0,8) and (16,24) in rows: opposite banks → score 0.
+        let good = vec![0, 0, 1, 1, 4, 4, 8, 14];
+        // Pairing (0,16) and (8,24): same banks → score 2.
+        let bad = vec![0, 1, 0, 1, 4, 4, 8, 14];
+        let gs = stall_score(&lp, &good, 3, &machine);
+        let bs = stall_score(&lp, &bad, 3, &machine);
+        assert!(gs < bs, "good={gs} bad={bs}");
+        assert_eq!(gs, 0.0);
+        assert_eq!(bs, 2.0);
+    }
+}

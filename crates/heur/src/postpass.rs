@@ -1,0 +1,137 @@
+//! The pipestage adjustment postpass (§2.5).
+//!
+//! The branch-and-bound scheduler only enforces dependences against
+//! *already scheduled* operations, so a non-topological priority list can
+//! produce "schedules" that violate cross-component precedence. A single
+//! depth-first walk of the SCC condensation from the roots (stores) toward
+//! predecessors repairs this: each component is moved *earlier* by
+//! multiples of II until its arcs into already-visited successors hold.
+//! Moving by multiples of II leaves every op's kernel row — and therefore
+//! the modulo reservation table and any same-row memory pairing — intact.
+
+use swp_ir::{Ddg, Loop};
+
+/// Repair cross-SCC dependence violations by moving whole components
+/// earlier by multiples of II, then normalize so the earliest op issues in
+/// cycle `[0, II)` (again shifting only by multiples of II).
+pub fn adjust_pipestages(lp: &Loop, ddg: &Ddg, ii: u32, mut times: Vec<i64>) -> Vec<i64> {
+    let ii64 = i64::from(ii);
+    // ddg.sccs() is in reverse topological order: successors first.
+    for scc in ddg.sccs() {
+        // Maximum violation of arcs from this component to visited
+        // components (all cross arcs out of it — successors are earlier in
+        // the order and already final).
+        let mut need = 0i64;
+        for &m in &scc.members {
+            for e in ddg.succ_edges(m) {
+                if ddg.scc_of(e.to) == scc.id {
+                    continue;
+                }
+                let sep_needed = e.latency - ii64 * i64::from(e.distance);
+                let actual = times[e.to.index()] - times[e.from.index()];
+                if actual < sep_needed {
+                    need = need.max(sep_needed - actual);
+                }
+            }
+        }
+        if need > 0 {
+            let k = need.div_euclid(ii64) + i64::from(need % ii64 != 0);
+            for &m in &scc.members {
+                times[m.index()] -= k * ii64;
+            }
+        }
+    }
+    // Normalize to non-negative times, preserving rows.
+    let min = times.iter().copied().min().unwrap_or(0);
+    if min < 0 {
+        let k = (-min).div_euclid(ii64) + i64::from((-min) % ii64 != 0);
+        for t in &mut times {
+            *t += k * ii64;
+        }
+    } else {
+        let k = min.div_euclid(ii64);
+        for t in &mut times {
+            *t -= k * ii64;
+        }
+    }
+    let _ = lp;
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::{Ddg, LoopBuilder, Schedule};
+    use swp_machine::Machine;
+
+    #[test]
+    fn repairs_backward_placed_consumer() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(y, 0, 8, w);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        // Deliberately violated: the fadd issues before its load's result.
+        let broken = vec![4, 0, 2];
+        let fixed = adjust_pipestages(&lp, &ddg, 2, broken);
+        let s = Schedule::new(2, fixed.clone());
+        assert_eq!(s.validate(&lp, &ddg, &m), Ok(()), "fixed times: {fixed:?}");
+    }
+
+    #[test]
+    fn preserves_rows() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(y, 0, 8, w);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        let broken = vec![5, 0, 2];
+        let ii = 3;
+        let rows_before: Vec<i64> = broken.iter().map(|t: &i64| t.rem_euclid(ii)).collect();
+        let fixed = adjust_pipestages(&lp, &ddg, ii as u32, broken);
+        let rows_after: Vec<i64> = fixed.iter().map(|t| t.rem_euclid(ii)).collect();
+        assert_eq!(rows_before, rows_after);
+    }
+
+    #[test]
+    fn valid_schedule_unchanged_modulo_normalization() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        b.store(y, 0, 8, v);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        let good = vec![0, 4];
+        let fixed = adjust_pipestages(&lp, &ddg, 2, good.clone());
+        assert_eq!(fixed, good);
+    }
+
+    #[test]
+    fn chain_of_components_moves_transitively() {
+        // a -> b -> c all misplaced: repairs must cascade.
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fmul(v, v);
+        let u = b.fadd(w, w);
+        b.store(y, 0, 8, u);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        let broken = vec![9, 5, 1, 0];
+        let fixed = adjust_pipestages(&lp, &ddg, 2, broken);
+        let s = Schedule::new(2, fixed.clone());
+        assert_eq!(s.validate(&lp, &ddg, &m), Ok(()), "fixed: {fixed:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! The modulo reservation table.
+
+use swp_machine::{Machine, OpClass};
+
+/// Cyclic resource usage table: `ii` rows × resource classes, tracking the
+/// reservations of the partially scheduled loop.
+#[derive(Debug, Clone)]
+pub struct ResTable {
+    ii: u32,
+    rows: Vec<[u32; 4]>,
+    limits: [u32; 4],
+}
+
+impl ResTable {
+    /// An empty table for a machine at a given II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(machine: &Machine, ii: u32) -> ResTable {
+        assert!(ii > 0, "II must be positive");
+        let mut limits = [0u32; 4];
+        for class in swp_machine::ResourceClass::ALL {
+            limits[class.index()] = machine.units(class);
+        }
+        ResTable { ii, rows: vec![[0; 4]; ii as usize], limits }
+    }
+
+    /// The table's II.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Whether an op of `class` fits at issue `cycle` (possibly negative).
+    ///
+    /// Reservations longer than the II wrap and can hit the same row more
+    /// than once; their demand is aggregated per row before comparing. The
+    /// common case — every reservation shorter than the II — needs no
+    /// aggregation and stays allocation-free.
+    pub fn fits(&self, machine: &Machine, class: OpClass, cycle: i64) -> bool {
+        let reservations = machine.reservations(class);
+        if reservations.iter().all(|r| r.duration <= self.ii) {
+            for r in &reservations {
+                for d in 0..r.duration {
+                    let row = (cycle + i64::from(d)).rem_euclid(i64::from(self.ii)) as usize;
+                    if self.rows[row][r.class.index()] + 1 > self.limits[r.class.index()] {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        let mut demand: Vec<[u32; 4]> = vec![[0; 4]; self.ii as usize];
+        for r in &reservations {
+            for d in 0..r.duration {
+                let row = (cycle + i64::from(d)).rem_euclid(i64::from(self.ii)) as usize;
+                demand[row][r.class.index()] += 1;
+            }
+        }
+        for (row, dem) in demand.iter().enumerate() {
+            for c in 0..4 {
+                if dem[c] > 0 && self.rows[row][c] + dem[c] > self.limits[c] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Reserve the resources of an op at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when called on a non-fitting placement.
+    pub fn place(&mut self, machine: &Machine, class: OpClass, cycle: i64) {
+        debug_assert!(self.fits(machine, class, cycle), "placing into a full row");
+        for r in machine.reservations(class) {
+            for d in 0..r.duration {
+                let row = (cycle + i64::from(d)).rem_euclid(i64::from(self.ii)) as usize;
+                self.rows[row][r.class.index()] += 1;
+            }
+        }
+    }
+
+    /// Release the resources of an op previously placed at `cycle`.
+    pub fn remove(&mut self, machine: &Machine, class: OpClass, cycle: i64) {
+        for r in machine.reservations(class) {
+            for d in 0..r.duration {
+                let row = (cycle + i64::from(d)).rem_euclid(i64::from(self.ii)) as usize;
+                debug_assert!(self.rows[row][r.class.index()] > 0, "removing from empty row");
+                self.rows[row][r.class.index()] -= 1;
+            }
+        }
+    }
+
+    /// Memory references currently in a row (for bank pairing accounting).
+    pub fn memory_in_row(&self, row: u32) -> u32 {
+        self.rows[row as usize][swp_machine::ResourceClass::Memory.index()]
+    }
+}
+
+/// Whether two op classes have identical resource requirements on this
+/// machine (used by catch-point pruning rule 2 of §2.4).
+pub fn identical_resources(machine: &Machine, a: OpClass, b: OpClass) -> bool {
+    machine.reservations(a) == machine.reservations(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_machine::Machine;
+
+    #[test]
+    fn fits_and_place_respect_limits() {
+        let m = Machine::r8000();
+        let mut t = ResTable::new(&m, 1);
+        assert!(t.fits(&m, OpClass::Load, 0));
+        t.place(&m, OpClass::Load, 0);
+        t.place(&m, OpClass::Load, 0);
+        assert!(!t.fits(&m, OpClass::Load, 5), "2 memory units exhausted in the single row");
+        t.remove(&m, OpClass::Load, 0);
+        assert!(t.fits(&m, OpClass::Load, 0));
+    }
+
+    #[test]
+    fn unpipelined_spans_rows() {
+        let m = Machine::r8000();
+        let mut t = ResTable::new(&m, 11);
+        t.place(&m, OpClass::FDiv, 0); // occupies FP rows 0..11
+        t.place(&m, OpClass::FDiv, 3); // second pipe
+        assert!(!t.fits(&m, OpClass::FAdd, 5), "both FP pipes blocked everywhere");
+    }
+
+    #[test]
+    fn negative_cycles_wrap() {
+        let m = Machine::r8000();
+        let mut t = ResTable::new(&m, 4);
+        t.place(&m, OpClass::Load, -1); // row 3
+        t.place(&m, OpClass::Load, 3);
+        assert!(!t.fits(&m, OpClass::Store, 7), "row 3 is full");
+        assert!(t.fits(&m, OpClass::Store, 2));
+    }
+
+    #[test]
+    fn issue_width_binds() {
+        let m = Machine::r8000();
+        let mut t = ResTable::new(&m, 1);
+        t.place(&m, OpClass::FAdd, 0);
+        t.place(&m, OpClass::FMul, 0);
+        t.place(&m, OpClass::IntAlu, 0);
+        t.place(&m, OpClass::IntAlu, 0);
+        // 4 issue slots used; a load has a free memory unit but no slot.
+        assert!(!t.fits(&m, OpClass::Load, 0));
+    }
+}

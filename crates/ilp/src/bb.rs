@@ -1,0 +1,389 @@
+//! Depth-first branch-and-bound over the LP relaxation.
+
+use crate::model::{Model, Sense, VarId, VarKind};
+use crate::simplex::{solve_lp_with_bounds, LpOutcome, LpSolution};
+use std::time::{Duration, Instant};
+
+/// Branch-and-bound controls.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Maximum number of explored nodes (deterministic budget).
+    pub node_limit: u64,
+    /// Optional wall-clock budget. The paper used 3 minutes per solve
+    /// (§3.3); experiments set this, tests rely on `node_limit` instead.
+    pub time_limit: Option<Duration>,
+    /// Branch variable priority: the first *fractional* variable in this
+    /// order is branched on. §3.3(3) of the paper found this ordering to be
+    /// "by far the most important factor" in solving scheduling ILPs.
+    pub branch_order: Option<Vec<VarId>>,
+    /// Tolerance for considering a relaxation value integral.
+    pub integrality_tol: f64,
+    /// Stop at the first integral solution (feasibility problems).
+    pub stop_at_first: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions {
+            node_limit: 200_000,
+            time_limit: None,
+            branch_order: None,
+            integrality_tol: 1e-5,
+            stop_at_first: false,
+        }
+    }
+}
+
+/// Outcome classification of an ILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Best possible integral solution found and proved.
+    Optimal,
+    /// An integral solution was found but the search was truncated by a
+    /// budget (or stopped at the first solution on request).
+    Feasible,
+    /// Proved that no integral solution exists.
+    Infeasible,
+    /// Budget exhausted with no integral solution found.
+    Unknown,
+}
+
+/// Result of [`solve_ilp`].
+#[derive(Debug, Clone)]
+pub struct IlpResult {
+    /// How the search ended.
+    pub status: Status,
+    /// Best integral solution, if any (integer variables rounded exactly).
+    pub solution: Option<LpSolution>,
+    /// Nodes explored.
+    pub nodes: u64,
+}
+
+impl IlpResult {
+    /// Value of a variable in the best solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no solution.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.solution.as_ref().expect("no solution").values[v.index()]
+    }
+}
+
+/// Solve a mixed 0/1-integer linear program by branch and bound.
+///
+/// Returns the best integral solution found within the budgets. With
+/// default options and no limits hit the result is optimal.
+pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
+    let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+
+    let deadline = options.time_limit.map(|d| Instant::now() + d);
+    let minimize = model.sense == Sense::Minimize;
+
+    let mut incumbent: Option<LpSolution> = None;
+    let mut nodes: u64 = 0;
+    let mut truncated = false;
+
+    struct Frame {
+        var: usize,
+        saved_lo: f64,
+        saved_hi: f64,
+        alts: [(f64, f64); 2],
+        next: usize,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+
+    // Returns true when a should replace b as incumbent.
+    let better = |a: f64, b: f64| if minimize { a < b - 1e-9 } else { a > b + 1e-9 };
+    // Returns true when relaxation bound cannot beat the incumbent.
+    let dominated = |bound: f64, inc: f64| {
+        if minimize {
+            bound >= inc - 1e-9
+        } else {
+            bound <= inc + 1e-9
+        }
+    };
+
+    'search: loop {
+        if nodes >= options.node_limit || deadline.is_some_and(|d| Instant::now() >= d) {
+            truncated = true;
+            break;
+        }
+        nodes += 1;
+
+        let mut descend = false;
+        match solve_lp_with_bounds(model, &lower, &upper, deadline) {
+            LpOutcome::Optimal(sol) => {
+                let prune = incumbent
+                    .as_ref()
+                    .is_some_and(|inc| dominated(sol.objective, inc.objective));
+                if !prune {
+                    match pick_branch(model, &sol, options) {
+                        None => {
+                            // Integral: round and record.
+                            let mut rounded = sol.clone();
+                            for (j, v) in rounded.values.iter_mut().enumerate() {
+                                if model.vars[j].kind != VarKind::Continuous {
+                                    *v = v.round();
+                                }
+                            }
+                            rounded.objective = model
+                                .objective
+                                .iter()
+                                .map(|&(v, c)| c * rounded.values[v.index()])
+                                .sum();
+                            let replace = incumbent
+                                .as_ref()
+                                .is_none_or(|inc| better(rounded.objective, inc.objective));
+                            if replace {
+                                incumbent = Some(rounded);
+                                if options.stop_at_first {
+                                    truncated = true;
+                                    break 'search;
+                                }
+                            }
+                        }
+                        Some(j) => {
+                            let v = sol.values[j];
+                            let kind = model.vars[j].kind;
+                            let (lo, hi) = (lower[j], upper[j]);
+                            let alts = branch_alternatives(kind, v, lo, hi);
+                            stack.push(Frame { var: j, saved_lo: lo, saved_hi: hi, alts, next: 0 });
+                            descend = true;
+                        }
+                    }
+                }
+            }
+            LpOutcome::Infeasible => {}
+            LpOutcome::Unbounded => {
+                // An unbounded relaxation of a node: the integer problem is
+                // unbounded or ill-posed; report and stop.
+                return IlpResult { status: Status::Unknown, solution: incumbent, nodes };
+            }
+            LpOutcome::IterLimit => {
+                truncated = true;
+            }
+        }
+
+        // Take the next alternative from the top of the stack (entering the
+        // child we just pushed, or backtracking).
+        loop {
+            let Some(top) = stack.last_mut() else {
+                break 'search;
+            };
+            if top.next < 2 {
+                let (lo, hi) = top.alts[top.next];
+                top.next += 1;
+                lower[top.var] = lo;
+                upper[top.var] = hi;
+                break;
+            }
+            lower[top.var] = top.saved_lo;
+            upper[top.var] = top.saved_hi;
+            stack.pop();
+        }
+        let _ = descend;
+    }
+
+    // Restore not needed; model untouched.
+    let status = match (&incumbent, truncated) {
+        (Some(_), false) => Status::Optimal,
+        (Some(_), true) => Status::Feasible,
+        (None, false) => Status::Infeasible,
+        (None, true) => Status::Unknown,
+    };
+    IlpResult { status, solution: incumbent, nodes }
+}
+
+/// Pick the branching variable: the first fractional variable in the given
+/// priority order, else the most fractional integer variable.
+fn pick_branch(model: &Model, sol: &LpSolution, options: &SolveOptions) -> Option<usize> {
+    let tol = options.integrality_tol;
+    let frac = |x: f64| (x - x.round()).abs();
+    if let Some(order) = &options.branch_order {
+        for &v in order {
+            let j = v.index();
+            if model.vars[j].kind != VarKind::Continuous && frac(sol.values[j]) > tol {
+                return Some(j);
+            }
+        }
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (j, def) in model.vars.iter().enumerate() {
+        if def.kind == VarKind::Continuous {
+            continue;
+        }
+        let f = frac(sol.values[j]);
+        if f > tol && best.is_none_or(|(_, bf)| f > bf) {
+            best = Some((j, f));
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+/// Child bounds for a branch: nearer value first.
+fn branch_alternatives(kind: VarKind, v: f64, lo: f64, hi: f64) -> [(f64, f64); 2] {
+    match kind {
+        VarKind::Binary => {
+            if v >= 0.5 {
+                [(1.0, 1.0), (0.0, 0.0)]
+            } else {
+                [(0.0, 0.0), (1.0, 1.0)]
+            }
+        }
+        _ => {
+            let down = (lo, v.floor());
+            let up = (v.ceil(), hi);
+            if v - v.floor() <= 0.5 {
+                [down, up]
+            } else {
+                [up, down]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn knapsack_optimal() {
+        let mut m = Model::new(Sense::Maximize);
+        let items = [(10.0, 5.0), (13.0, 7.0), (7.0, 4.0), (4.0, 3.0)];
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.binary(&format!("x{i}")))
+            .collect();
+        m.set_objective(vars.iter().zip(&items).map(|(&v, &(p, _))| (v, p)));
+        m.add_le(vars.iter().zip(&items).map(|(&v, &(_, w))| (v, w)), 10.0);
+        let r = solve_ilp(&m, &SolveOptions::default());
+        assert_eq!(r.status, Status::Optimal);
+        assert!((r.solution.unwrap().objective - 17.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x st 2x <= 5, x integer → 2 (relaxation 2.5).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.integer("x");
+        m.set_objective([(x, 1.0)]);
+        m.add_le([(x, 2.0)], 5.0);
+        let r = solve_ilp(&m, &SolveOptions::default());
+        assert_eq!(r.status, Status::Optimal);
+        assert!((r.value(x) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 2x = 3 with x integer.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.integer("x");
+        m.add_eq([(x, 2.0)], 3.0);
+        let r = solve_ilp(&m, &SolveOptions::default());
+        assert_eq!(r.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3 jobs to 3 slots, costs; classic set partitioning.
+        let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut x = vec![vec![]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                x[i].push(m.binary(&format!("x{i}{j}")));
+            }
+        }
+        m.set_objective(
+            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| (x[i][j], costs[i][j])),
+        );
+        for i in 0..3 {
+            m.add_eq((0..3).map(|j| (x[i][j], 1.0)), 1.0);
+        }
+        for j in 0..3 {
+            m.add_eq((0..3).map(|i| (x[i][j], 1.0)), 1.0);
+        }
+        let r = solve_ilp(&m, &SolveOptions::default());
+        assert_eq!(r.status, Status::Optimal);
+        // Optimal: j0→slot0(4)? rows to columns: min total = 4+3+... check
+        // by exhaustion: permutations costs: (0,1,2):4+3+6=13; (0,2,1):4+7+1=12;
+        // (1,0,2):2+4+6=12; (1,2,0):2+7+3=12; (2,0,1):8+4+1=13; (2,1,0):8+3+3=14.
+        assert!((r.solution.unwrap().objective - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stop_at_first_returns_feasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.add_ge([(x, 1.0), (y, 1.0)], 1.0);
+        let r = solve_ilp(
+            &m,
+            &SolveOptions { stop_at_first: true, ..SolveOptions::default() },
+        );
+        assert_eq!(r.status, Status::Feasible);
+        assert!(r.solution.is_some());
+    }
+
+    #[test]
+    fn node_limit_truncates() {
+        // A problem that needs branching, with a 1-node budget.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.integer("x");
+        let y = m.integer("y");
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_le([(x, 2.0), (y, 3.0)], 7.0);
+        m.add_le([(x, 3.0), (y, 2.0)], 7.0);
+        let r = solve_ilp(&m, &SolveOptions { node_limit: 1, ..SolveOptions::default() });
+        assert!(matches!(r.status, Status::Unknown | Status::Feasible));
+    }
+
+    #[test]
+    fn branch_order_is_honored() {
+        // Both orders find the optimum; the test checks the hook is safe.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let z = m.binary("z");
+        m.set_objective([(x, 2.0), (y, 3.0), (z, 4.0)]);
+        m.add_le([(x, 1.0), (y, 1.0), (z, 1.0)], 2.0);
+        let r = solve_ilp(
+            &m,
+            &SolveOptions { branch_order: Some(vec![z, y, x]), ..SolveOptions::default() },
+        );
+        assert_eq!(r.status, Status::Optimal);
+        assert!((r.solution.unwrap().objective - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_heavy_scheduling_shape() {
+        // A miniature a[i][t] shape: 3 ops × 3 slots, each op in exactly one
+        // slot, at most 2 ops per slot, minimize weighted slot use.
+        let mut m = Model::new(Sense::Minimize);
+        let mut a = vec![vec![]; 3];
+        for i in 0..3 {
+            for t in 0..3 {
+                a[i].push(m.binary(&format!("a{i}{t}")));
+            }
+        }
+        for i in 0..3 {
+            m.add_eq((0..3).map(|t| (a[i][t], 1.0)), 1.0);
+        }
+        for t in 0..3 {
+            m.add_le((0..3).map(|i| (a[i][t], 1.0)), 2.0);
+        }
+        m.set_objective(
+            (0..3)
+                .flat_map(|i| (0..3).map(move |t| (i, t)))
+                .map(|(i, t)| (a[i][t], (t as f64) + 1.0)),
+        );
+        let r = solve_ilp(&m, &SolveOptions::default());
+        assert_eq!(r.status, Status::Optimal);
+        // Two ops in slot 0 (cost 1 each), one in slot 1 (cost 2): total 4.
+        assert!((r.solution.unwrap().objective - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,236 @@
+//! Model-building API: variables, linear constraints, objective.
+
+use std::fmt;
+
+/// Identifier of a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Integrality class of a variable. All variables are non-negative; binary
+/// variables additionally have an upper bound of 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Continuous, `x ≥ 0`.
+    Continuous,
+    /// Integer, `x ≥ 0`.
+    Integer,
+    /// Binary, `x ∈ {0, 1}`.
+    Binary,
+}
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimize the objective (the modulo-scheduling formulations minimize
+    /// buffers or registers).
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relational operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintOp {
+    /// `expr ≤ rhs`.
+    Le,
+    /// `expr ≥ rhs`.
+    Ge,
+    /// `expr = rhs`.
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub kind: VarKind,
+    /// Lower bound (0 unless tightened).
+    pub lower: f64,
+    /// Upper bound (`f64::INFINITY` = none; binaries start at 1).
+    pub upper: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub terms: Vec<(VarId, f64)>,
+    pub op: ConstraintOp,
+    pub rhs: f64,
+}
+
+/// An ILP/LP model under construction.
+///
+/// Variables are non-negative; binaries carry an implicit `≤ 1`. The solver
+/// detects binaries whose upper bound is implied by a set-partitioning row
+/// (`Σ x = 1` with non-negative coefficients) and omits the explicit bound
+/// row — the modulo-scheduling assignment constraints have exactly this
+/// form, which keeps the tableaux small.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Vec<(VarId, f64)>,
+}
+
+impl Model {
+    /// Create an empty model.
+    pub fn new(sense: Sense) -> Model {
+        Model { sense, vars: Vec::new(), constraints: Vec::new(), objective: Vec::new() }
+    }
+
+    /// Add a continuous variable `x ≥ 0`.
+    pub fn continuous(&mut self, name: &str) -> VarId {
+        self.var(name, VarKind::Continuous)
+    }
+
+    /// Add an integer variable `x ≥ 0`.
+    pub fn integer(&mut self, name: &str) -> VarId {
+        self.var(name, VarKind::Integer)
+    }
+
+    /// Add a binary variable.
+    pub fn binary(&mut self, name: &str) -> VarId {
+        self.var(name, VarKind::Binary)
+    }
+
+    fn var(&mut self, name: &str, kind: VarKind) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        let upper = if kind == VarKind::Binary { 1.0 } else { f64::INFINITY };
+        self.vars.push(VarDef { name: name.to_owned(), kind, lower: 0.0, upper });
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable kind.
+    pub fn kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Variable name.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Set the objective as `(variable, coefficient)` terms. Terms for the
+    /// same variable accumulate.
+    pub fn set_objective<I: IntoIterator<Item = (VarId, f64)>>(&mut self, terms: I) {
+        self.objective = accumulate(terms);
+    }
+
+    /// Add `Σ terms ≤ rhs`.
+    pub fn add_le<I: IntoIterator<Item = (VarId, f64)>>(&mut self, terms: I, rhs: f64) {
+        self.add(terms, ConstraintOp::Le, rhs);
+    }
+
+    /// Add `Σ terms ≥ rhs`.
+    pub fn add_ge<I: IntoIterator<Item = (VarId, f64)>>(&mut self, terms: I, rhs: f64) {
+        self.add(terms, ConstraintOp::Ge, rhs);
+    }
+
+    /// Add `Σ terms = rhs`.
+    pub fn add_eq<I: IntoIterator<Item = (VarId, f64)>>(&mut self, terms: I, rhs: f64) {
+        self.add(terms, ConstraintOp::Eq, rhs);
+    }
+
+    fn add<I: IntoIterator<Item = (VarId, f64)>>(&mut self, terms: I, op: ConstraintOp, rhs: f64) {
+        let terms = accumulate(terms);
+        for &(v, _) in &terms {
+            assert!(v.index() < self.vars.len(), "constraint uses unknown variable");
+        }
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// The binary variables whose `≤ 1` bound is implied by an equality row
+    /// `Σ c_j x_j = 1` with all `c_j ≥ 1` (set-partitioning style).
+    pub(crate) fn implied_binary_upper(&self) -> Vec<bool> {
+        let mut implied = vec![false; self.vars.len()];
+        for c in &self.constraints {
+            let qualifies = c.op == ConstraintOp::Eq
+                && (c.rhs - 1.0).abs() < 1e-12
+                && c.terms.iter().all(|&(_, a)| a >= 1.0 - 1e-12);
+            if qualifies {
+                for &(v, _) in &c.terms {
+                    implied[v.index()] = true;
+                }
+            }
+        }
+        implied
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model: {} vars, {} constraints, {}",
+            self.vars.len(),
+            self.constraints.len(),
+            match self.sense {
+                Sense::Minimize => "minimize",
+                Sense::Maximize => "maximize",
+            }
+        )
+    }
+}
+
+fn accumulate<I: IntoIterator<Item = (VarId, f64)>>(terms: I) -> Vec<(VarId, f64)> {
+    let mut out: Vec<(VarId, f64)> = Vec::new();
+    for (v, c) in terms {
+        match out.iter_mut().find(|(w, _)| *w == v) {
+            Some((_, acc)) => *acc += c,
+            None => out.push((v, c)),
+        }
+    }
+    out.retain(|&(_, c)| c != 0.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous("x");
+        m.add_le([(x, 1.0), (x, 2.0)], 5.0);
+        assert_eq!(m.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn implied_binary_detection() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.add_eq([(a, 1.0), (b, 1.0)], 1.0);
+        m.add_le([(c, 1.0)], 1.0);
+        let implied = m.implied_binary_upper();
+        assert!(implied[a.index()] && implied[b.index()]);
+        assert!(!implied[c.index()]);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous("x");
+        let y = m.continuous("y");
+        m.add_ge([(x, 1.0), (y, 0.0)], 1.0);
+        assert_eq!(m.constraints[0].terms.len(), 1);
+    }
+}

@@ -1,0 +1,505 @@
+//! Dense two-phase primal simplex.
+//!
+//! Textbook tableau simplex with Dantzig pricing and an automatic switch to
+//! Bland's rule to escape degenerate cycling. Dimensions in the
+//! modulo-scheduling models are a few hundred rows by a few thousand
+//! columns, well within dense range.
+
+use crate::model::{ConstraintOp, Model, Sense};
+use std::time::Instant;
+
+const EPS: f64 = 1e-9;
+const FEAS_EPS: f64 = 1e-7;
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration budget ran out (treated as a solver failure).
+    IterLimit,
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Objective value in the model's own sense.
+    pub objective: f64,
+    /// Value per model variable.
+    pub values: Vec<f64>,
+}
+
+/// Solve the LP relaxation of `model` (integrality ignored, model bounds
+/// respected).
+pub fn solve_lp(model: &Model) -> LpOutcome {
+    let lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+    solve_lp_with_bounds(model, &lower, &upper, None)
+}
+
+/// Solve the LP relaxation with per-variable bounds overriding the model's
+/// (used by branch-and-bound nodes). An optional wall-clock `deadline`
+/// aborts long pivoting with [`LpOutcome::IterLimit`].
+pub(crate) fn solve_lp_with_bounds(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    deadline: Option<Instant>,
+) -> LpOutcome {
+    let n = model.vars.len();
+    debug_assert_eq!(lower.len(), n);
+    debug_assert_eq!(upper.len(), n);
+
+    for j in 0..n {
+        if lower[j] > upper[j] + FEAS_EPS {
+            return LpOutcome::Infeasible;
+        }
+    }
+
+    // Which variables are fixed (substituted out as constants)?
+    let fixed: Vec<Option<f64>> = (0..n)
+        .map(|j| (upper[j] - lower[j] <= FEAS_EPS).then_some(lower[j]))
+        .collect();
+
+    // Shift x_j = lower_j + x'_j for free variables; build the row list.
+    // Bound rows are added for finite upper bounds that are not implied by
+    // a set-partitioning equality.
+    let implied = model.implied_binary_upper();
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
+    for c in &model.constraints {
+        let mut rhs = c.rhs;
+        let mut terms = Vec::with_capacity(c.terms.len());
+        for &(v, a) in &c.terms {
+            let j = v.index();
+            match fixed[j] {
+                Some(val) => rhs -= a * val,
+                None => {
+                    rhs -= a * lower[j];
+                    terms.push((j, a));
+                }
+            }
+        }
+        rows.push(Row { terms, op: c.op, rhs });
+    }
+    for j in 0..n {
+        if fixed[j].is_some() || !upper[j].is_finite() {
+            continue;
+        }
+        if implied[j] && lower[j] <= EPS && (upper[j] - 1.0).abs() <= EPS {
+            continue; // Σ x = 1 row already caps this binary
+        }
+        rows.push(Row { terms: vec![(j, 1.0)], op: ConstraintOp::Le, rhs: upper[j] - lower[j] });
+    }
+
+    // Check trivially-contradictory empty rows.
+    rows.retain(|r| {
+        if !r.terms.is_empty() {
+            return true;
+        }
+        // keep contradictions to force Infeasible below
+        match r.op {
+            ConstraintOp::Le => r.rhs < -FEAS_EPS,
+            ConstraintOp::Ge => r.rhs > FEAS_EPS,
+            ConstraintOp::Eq => r.rhs.abs() > FEAS_EPS,
+        }
+    });
+    if rows.iter().any(|r| r.terms.is_empty()) {
+        return LpOutcome::Infeasible;
+    }
+
+    // Map free variables to dense columns.
+    let mut col_of = vec![usize::MAX; n];
+    let mut var_of_col = Vec::new();
+    for j in 0..n {
+        if fixed[j].is_none() {
+            col_of[j] = var_of_col.len();
+            var_of_col.push(j);
+        }
+    }
+    let nf = var_of_col.len();
+
+    let m = rows.len();
+    if m == 0 {
+        // Unconstrained: optimum at the shifted origin unless the objective
+        // improves without bound along some free column.
+        let mut values: Vec<f64> = (0..n).map(|j| fixed[j].unwrap_or(lower[j])).collect();
+        let dir = if model.sense == Sense::Maximize { 1.0 } else { -1.0 };
+        for &(v, c) in &model.objective {
+            if fixed[v.index()].is_none() && c * dir > EPS && !upper[v.index()].is_finite() {
+                return LpOutcome::Unbounded;
+            }
+            if fixed[v.index()].is_none() && c * dir > EPS {
+                values[v.index()] = upper[v.index()];
+            }
+        }
+        let objective = model.objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
+        return LpOutcome::Optimal(LpSolution { objective, values });
+    }
+
+    // Standard form: count slacks and artificials.
+    let mut nslack = 0;
+    let mut nart = 0;
+    for r in &rows {
+        let rhs_neg = r.rhs < 0.0;
+        let op = effective_op(r.op, rhs_neg);
+        match op {
+            ConstraintOp::Le => nslack += 1,
+            ConstraintOp::Ge => {
+                nslack += 1;
+                nart += 1;
+            }
+            ConstraintOp::Eq => nart += 1,
+        }
+    }
+    let ncols = nf + nslack + nart;
+    let width = ncols + 1; // + rhs
+    let mut t = vec![0.0f64; (m + 1) * width];
+    let mut basis = vec![usize::MAX; m];
+    let art_start = nf + nslack;
+
+    let mut slack_cursor = nf;
+    let mut art_cursor = art_start;
+    for (i, r) in rows.iter().enumerate() {
+        let rhs_neg = r.rhs < 0.0;
+        let sign = if rhs_neg { -1.0 } else { 1.0 };
+        for &(j, a) in &r.terms {
+            t[i * width + col_of[j]] += sign * a;
+        }
+        t[i * width + ncols] = sign * r.rhs;
+        match effective_op(r.op, rhs_neg) {
+            ConstraintOp::Le => {
+                t[i * width + slack_cursor] = 1.0;
+                basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            ConstraintOp::Ge => {
+                t[i * width + slack_cursor] = -1.0;
+                slack_cursor += 1;
+                t[i * width + art_cursor] = 1.0;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            ConstraintOp::Eq => {
+                t[i * width + art_cursor] = 1.0;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let max_iters = 200 * (m + ncols) + 2000;
+
+    // Phase 1: minimize the sum of artificials.
+    if nart > 0 {
+        for c in art_start..ncols {
+            t[m * width + c] = 1.0;
+        }
+        // Zero reduced costs of basic artificials.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                for c in 0..width {
+                    t[m * width + c] -= t[i * width + c];
+                }
+            }
+        }
+        match run_simplex(&mut t, &mut basis, m, ncols, width, ncols, max_iters, deadline) {
+            SimplexEnd::Optimal => {}
+            SimplexEnd::Unbounded => return LpOutcome::Infeasible, // phase 1 is bounded below
+            SimplexEnd::IterLimit => return LpOutcome::IterLimit,
+        }
+        let phase1 = -t[m * width + ncols];
+        if phase1 > FEAS_EPS {
+            return LpOutcome::Infeasible;
+        }
+        // Pivot remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                let mut pivoted = false;
+                for c in 0..art_start {
+                    if t[i * width + c].abs() > 1e-7 {
+                        pivot(&mut t, &mut basis, m, width, i, c);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: the artificial stays basic at 0 and is
+                    // barred from re-entering (columns ≥ art limit skipped).
+                }
+            }
+        }
+    }
+
+    // Phase 2: install the real objective (as minimization).
+    for c in 0..width {
+        t[m * width + c] = 0.0;
+    }
+    let flip = if model.sense == Sense::Maximize { -1.0 } else { 1.0 };
+    for &(v, c) in &model.objective {
+        let j = v.index();
+        if fixed[j].is_none() {
+            t[m * width + col_of[j]] += flip * c;
+        }
+    }
+    for i in 0..m {
+        let b = basis[i];
+        if b < art_start {
+            let cost = t[m * width + b];
+            if cost.abs() > 0.0 {
+                for c in 0..width {
+                    t[m * width + c] -= cost * t[i * width + c];
+                }
+            }
+        }
+    }
+    match run_simplex(&mut t, &mut basis, m, ncols, width, art_start, max_iters, deadline) {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+        SimplexEnd::IterLimit => return LpOutcome::IterLimit,
+    }
+
+    // Read off the solution.
+    let mut xprime = vec![0.0f64; nf];
+    for i in 0..m {
+        if basis[i] < nf {
+            xprime[basis[i]] = t[i * width + ncols];
+        }
+    }
+    let mut values = vec![0.0f64; n];
+    for j in 0..n {
+        values[j] = match fixed[j] {
+            Some(v) => v,
+            None => lower[j] + xprime[col_of[j]].max(0.0),
+        };
+    }
+    let objective = model.objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
+    LpOutcome::Optimal(LpSolution { objective, values })
+}
+
+fn effective_op(op: ConstraintOp, rhs_negated: bool) -> ConstraintOp {
+    if !rhs_negated {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+    IterLimit,
+}
+
+/// Run the simplex loop on the tableau. Columns `>= col_limit` (artificials
+/// in phase 2) never enter the basis.
+#[allow(clippy::too_many_arguments)]
+fn run_simplex(
+    t: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    ncols: usize,
+    width: usize,
+    col_limit: usize,
+    max_iters: usize,
+    deadline: Option<Instant>,
+) -> SimplexEnd {
+    let bland_after = max_iters / 4;
+    for iter in 0..max_iters {
+        if iter % 128 == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            return SimplexEnd::IterLimit;
+        }
+        let bland = iter >= bland_after;
+        // Entering column.
+        let mut enter = usize::MAX;
+        let mut best = -EPS;
+        for c in 0..col_limit.min(ncols) {
+            let rc = t[m * width + c];
+            if rc < -1e-9 {
+                if bland {
+                    enter = c;
+                    break;
+                }
+                if rc < best {
+                    best = rc;
+                    enter = c;
+                }
+            }
+        }
+        if enter == usize::MAX {
+            return SimplexEnd::Optimal;
+        }
+        // Ratio test.
+        let mut leave = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = t[i * width + enter];
+            if a > EPS {
+                let ratio = t[i * width + ncols] / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave != usize::MAX
+                        && basis[i] < basis[leave]);
+                if leave == usize::MAX || better {
+                    best_ratio = ratio;
+                    leave = i;
+                }
+            }
+        }
+        if leave == usize::MAX {
+            return SimplexEnd::Unbounded;
+        }
+        pivot(t, basis, m, width, leave, enter);
+    }
+    SimplexEnd::IterLimit
+}
+
+fn pivot(t: &mut [f64], basis: &mut [usize], m: usize, width: usize, row: usize, col: usize) {
+    let p = t[row * width + col];
+    debug_assert!(p.abs() > EPS, "pivot on a zero element");
+    let inv = 1.0 / p;
+    for c in 0..width {
+        t[row * width + c] *= inv;
+    }
+    t[row * width + col] = 1.0;
+    for r in 0..=m {
+        if r == row {
+            continue;
+        }
+        let f = t[r * width + col];
+        if f.abs() > 0.0 {
+            for c in 0..width {
+                t[r * width + c] -= f * t[row * width + c];
+            }
+            t[r * width + col] = 0.0;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn opt(o: LpOutcome) -> LpSolution {
+        match o {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // max 3x + 2y st x + y <= 4, x + 3y <= 6 → x=4, y=0, obj 12.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous("x");
+        let y = m.continuous("y");
+        m.set_objective([(x, 3.0), (y, 2.0)]);
+        m.add_le([(x, 1.0), (y, 1.0)], 4.0);
+        m.add_le([(x, 1.0), (y, 3.0)], 6.0);
+        let s = opt(solve_lp(&m));
+        assert!((s.objective - 12.0).abs() < 1e-6);
+        assert!((s.values[x.index()] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y st x + y = 3, x >= 1 → obj 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous("x");
+        let y = m.continuous("y");
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        m.add_eq([(x, 1.0), (y, 1.0)], 3.0);
+        m.add_ge([(x, 1.0)], 1.0);
+        let s = opt(solve_lp(&m));
+        assert!((s.objective - 3.0).abs() < 1e-6);
+        assert!(s.values[x.index()] >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous("x");
+        m.add_le([(x, 1.0)], 1.0);
+        m.add_ge([(x, 1.0)], 2.0);
+        assert_eq!(solve_lp(&m), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous("x");
+        m.set_objective([(x, 1.0)]);
+        m.add_ge([(x, 1.0)], 0.0);
+        assert_eq!(solve_lp(&m), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalize() {
+        // x - y <= -2 with x,y>=0: y >= x + 2; min y → y=2 at x=0.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous("x");
+        let y = m.continuous("y");
+        m.set_objective([(y, 1.0)]);
+        m.add_le([(x, 1.0), (y, -1.0)], -2.0);
+        let s = opt(solve_lp(&m));
+        assert!((s.values[y.index()] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_bound_respected_in_relaxation() {
+        // max x with x binary: relaxation caps at 1 (bound row).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.binary("x");
+        m.set_objective([(x, 1.0)]);
+        let s = opt(solve_lp(&m));
+        assert!((s.values[x.index()] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous("x");
+        let y = m.continuous("y");
+        m.set_objective([(x, 1.0), (y, 1.0)]);
+        for k in 1..20 {
+            m.add_le([(x, 1.0), (y, k as f64)], k as f64);
+        }
+        let s = opt(solve_lp(&m));
+        assert!(s.objective <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn fixed_variables_substituted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary("x");
+        let y = m.continuous("y");
+        m.set_objective([(y, 1.0)]);
+        m.add_ge([(x, 2.0), (y, 1.0)], 3.0);
+        let s = opt(solve_lp_with_bounds(&m, &[1.0, 0.0], &[1.0, f64::INFINITY], None));
+        assert!((s.values[x.index()] - 1.0).abs() < 1e-9);
+        assert!((s.values[y.index()] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_constraints_minimization() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous("x");
+        m.set_objective([(x, 1.0)]);
+        let s = opt(solve_lp(&m));
+        assert_eq!(s.values[x.index()], 0.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Construction DSL for [`Loop`] bodies.
+
+use crate::op::{ArrayId, ArrayInfo, Loop, MemAccess, Op, OpId, Operand, Sem, ValueId, ValueInfo};
+use swp_machine::{OpClass, RegClass};
+
+/// Handle for a loop-carried value under construction.
+///
+/// Create with [`LoopBuilder::carried`], use the placeholder via
+/// [`Carried::value`], and close the cycle with [`LoopBuilder::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a carried value must be closed with LoopBuilder::close"]
+pub struct Carried {
+    placeholder: ValueId,
+    class: RegClass,
+}
+
+impl Carried {
+    /// The placeholder value to use inside the loop body. Uses of it are
+    /// rewritten to loop-carried uses of the closing definition.
+    pub fn value(&self) -> ValueId {
+        self.placeholder
+    }
+}
+
+/// Builder for [`Loop`] bodies.
+///
+/// # Examples
+///
+/// A dot-product reduction (one fmadd recurrence):
+///
+/// ```
+/// use swp_ir::LoopBuilder;
+/// let mut b = LoopBuilder::new("dot");
+/// let x = b.array("x", 8);
+/// let y = b.array("y", 8);
+/// let xv = b.load(x, 0, 8);
+/// let yv = b.load(y, 0, 8);
+/// let s = b.carried_f("s");
+/// let s1 = b.fmadd(xv, yv, s.value());
+/// b.close(s, s1, 1);
+/// let lp = b.finish();
+/// assert_eq!(lp.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    ops: Vec<Op>,
+    values: Vec<ValueInfo>,
+    arrays: Vec<ArrayInfo>,
+    /// Open carried placeholders: (placeholder, closing def, distance).
+    pending: Vec<(ValueId, Option<(ValueId, u32)>)>,
+}
+
+impl LoopBuilder {
+    /// Start building a loop with the given name.
+    pub fn new(name: &str) -> LoopBuilder {
+        LoopBuilder {
+            name: name.to_owned(),
+            ops: Vec::new(),
+            values: Vec::new(),
+            arrays: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Declare an array symbol with the given element size in bytes.
+    pub fn array(&mut self, name: &str, elem_bytes: u32) -> ArrayId {
+        self.array_aligned(name, elem_bytes, 0)
+    }
+
+    /// Declare an array with explicit base alignment relative to the
+    /// 16-byte bank period (controls which bank element 0 hits).
+    pub fn array_aligned(&mut self, name: &str, elem_bytes: u32, base_align: u64) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayInfo { name: name.to_owned(), elem_bytes, base_align });
+        id
+    }
+
+    /// Declare a floating-point loop invariant (live-in scalar).
+    pub fn invariant_f(&mut self, name: &str) -> ValueId {
+        self.invariant(name, RegClass::Float)
+    }
+
+    /// Declare an integer loop invariant.
+    pub fn invariant_i(&mut self, name: &str) -> ValueId {
+        self.invariant(name, RegClass::Int)
+    }
+
+    /// Declare a loop invariant of the given class.
+    pub fn invariant(&mut self, name: &str, class: RegClass) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo { class, def: None, name: name.to_owned() });
+        id
+    }
+
+    /// Open a floating-point loop-carried value (recurrence).
+    pub fn carried_f(&mut self, name: &str) -> Carried {
+        self.carried(name, RegClass::Float)
+    }
+
+    /// Open an integer loop-carried value.
+    pub fn carried_i(&mut self, name: &str) -> Carried {
+        self.carried(name, RegClass::Int)
+    }
+
+    /// Open a loop-carried value of the given class.
+    pub fn carried(&mut self, name: &str, class: RegClass) -> Carried {
+        let placeholder = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo {
+            class,
+            def: None,
+            name: format!("{name}.carried"),
+        });
+        self.pending.push((placeholder, None));
+        Carried { placeholder, class }
+    }
+
+    /// Close a carried value: uses of the placeholder become uses of `def`
+    /// at iteration `distance` (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is 0, the carried value was already closed, the
+    /// defining value's class differs, or `def` is an invariant.
+    pub fn close(&mut self, carried: Carried, def: ValueId, distance: u32) {
+        assert!(distance >= 1, "carried distance must be >= 1");
+        assert_eq!(
+            self.values[def.index()].class,
+            carried.class,
+            "carried value class mismatch"
+        );
+        assert!(
+            self.values[def.index()].def.is_some(),
+            "carried value must be closed with a defined value"
+        );
+        let slot = self
+            .pending
+            .iter_mut()
+            .find(|(p, _)| *p == carried.placeholder)
+            .expect("carried value belongs to this builder");
+        assert!(slot.1.is_none(), "carried value closed twice");
+        slot.1 = Some((def, distance));
+    }
+
+    /// Emit a load from `array` at `offset + stride*i` bytes.
+    pub fn load(&mut self, array: ArrayId, offset: i64, stride: i64) -> ValueId {
+        let mem = MemAccess { array, offset, stride, indirect: false };
+        self.push_mem_load(mem, &[])
+    }
+
+    /// Emit an integer load (e.g. of an index array).
+    pub fn load_i(&mut self, array: ArrayId, offset: i64, stride: i64) -> ValueId {
+        let mem = MemAccess { array, offset, stride, indirect: false };
+        let ops: Vec<Operand> = Vec::new();
+        self.push(OpClass::Load, Sem::Load, Some(RegClass::Int), ops, Some(mem))
+    }
+
+    /// Emit an indirect load `array[idx]` where `idx` is a loop value.
+    pub fn load_indirect(&mut self, array: ArrayId, idx: ValueId) -> ValueId {
+        let mem = MemAccess { array, offset: 0, stride: 0, indirect: true };
+        self.push_mem_load(mem, &[Operand::now(idx)])
+    }
+
+    fn push_mem_load(&mut self, mem: MemAccess, extra: &[Operand]) -> ValueId {
+        self.push(OpClass::Load, Sem::Load, Some(RegClass::Float), extra.to_vec(), Some(mem))
+    }
+
+    /// Emit a store of `value` to `array` at `offset + stride*i` bytes.
+    pub fn store(&mut self, array: ArrayId, offset: i64, stride: i64, value: ValueId) {
+        let mem = MemAccess { array, offset, stride, indirect: false };
+        self.push_void(OpClass::Store, Sem::Store, vec![Operand::now(value)], Some(mem));
+    }
+
+    /// Emit an indirect store `array[idx] = value`.
+    pub fn store_indirect(&mut self, array: ArrayId, idx: ValueId, value: ValueId) {
+        let mem = MemAccess { array, offset: 0, stride: 0, indirect: true };
+        self.push_void(OpClass::Store, Sem::Store, vec![Operand::now(idx), Operand::now(value)], Some(mem));
+    }
+
+    /// Emit a floating-point add.
+    pub fn fadd(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpClass::FAdd, Sem::Add, a, b)
+    }
+
+    /// Emit a floating-point subtract (same FP-adder class as add).
+    pub fn fsub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpClass::FAdd, Sem::Sub, a, b)
+    }
+
+    /// Emit a floating-point multiply.
+    pub fn fmul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpClass::FMul, Sem::Mul, a, b)
+    }
+
+    /// Emit a fused multiply-add `a*b + c`.
+    pub fn fmadd(&mut self, a: ValueId, b: ValueId, c: ValueId) -> ValueId {
+        self.push(
+            OpClass::FMadd,
+            Sem::Madd,
+            Some(RegClass::Float),
+            vec![Operand::now(a), Operand::now(b), Operand::now(c)],
+            None,
+        )
+    }
+
+    /// Emit a floating-point divide (unpipelined on the R8000).
+    pub fn fdiv(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpClass::FDiv, Sem::Div, a, b)
+    }
+
+    /// Emit a floating-point square root (unpipelined on the R8000).
+    pub fn fsqrt(&mut self, a: ValueId) -> ValueId {
+        self.push(OpClass::FSqrt, Sem::Sqrt, Some(RegClass::Float), vec![Operand::now(a)], None)
+    }
+
+    /// Emit a floating-point compare producing a condition value.
+    pub fn fcmp(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(OpClass::FCmp, Sem::Lt, a, b)
+    }
+
+    /// Emit a conditional move `cond ? a : b` (the product of
+    /// if-conversion, §2.1 of the paper).
+    pub fn cmov(&mut self, cond: ValueId, a: ValueId, b: ValueId) -> ValueId {
+        self.push(
+            OpClass::CMov,
+            Sem::Select,
+            Some(RegClass::Float),
+            vec![Operand::now(cond), Operand::now(a), Operand::now(b)],
+            None,
+        )
+    }
+
+    /// Emit an integer ALU op (address arithmetic and the like).
+    pub fn ialu(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.push(
+            OpClass::IntAlu,
+            Sem::Add,
+            Some(RegClass::Int),
+            vec![Operand::now(a), Operand::now(b)],
+            None,
+        )
+    }
+
+    /// Emit an integer multiply.
+    pub fn imul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.push(
+            OpClass::IntMul,
+            Sem::Mul,
+            Some(RegClass::Int),
+            vec![Operand::now(a), Operand::now(b)],
+            None,
+        )
+    }
+
+    /// Convert a floating-point value to an integer index (truncating),
+    /// modeled as an integer-ALU op — the move-from-FP + truncate pair a
+    /// MIPS compiler emits for computed subscripts.
+    pub fn ftoi(&mut self, a: ValueId) -> ValueId {
+        self.push(OpClass::IntAlu, Sem::Copy, Some(RegClass::Int), vec![Operand::now(a)], None)
+    }
+
+    /// Emit a register copy.
+    pub fn copy(&mut self, a: ValueId) -> ValueId {
+        let class = self.values[a.index()].class;
+        self.push(OpClass::Copy, Sem::Copy, Some(class), vec![Operand::now(a)], None)
+    }
+
+    /// Emit an op with explicit carried operands. Most callers can use the
+    /// typed helpers plus [`LoopBuilder::carried`]; this is the escape hatch
+    /// for unusual distances.
+    pub fn raw(
+        &mut self,
+        class: OpClass,
+        sem: Sem,
+        result_class: Option<RegClass>,
+        operands: Vec<Operand>,
+        mem: Option<MemAccess>,
+    ) -> Option<ValueId> {
+        if class.has_result() {
+            let rc = result_class.expect("result class required");
+            Some(self.push(class, sem, Some(rc), operands, mem))
+        } else {
+            self.push_void(class, sem, operands, mem);
+            None
+        }
+    }
+
+    fn binary(&mut self, class: OpClass, sem: Sem, a: ValueId, b: ValueId) -> ValueId {
+        self.push(
+            class,
+            sem,
+            Some(RegClass::Float),
+            vec![Operand::now(a), Operand::now(b)],
+            None,
+        )
+    }
+
+    fn push(
+        &mut self,
+        class: OpClass,
+        sem: Sem,
+        result_class: Option<RegClass>,
+        operands: Vec<Operand>,
+        mem: Option<MemAccess>,
+    ) -> ValueId {
+        let id = OpId(self.ops.len() as u32);
+        let result = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo {
+            class: result_class.expect("class for result"),
+            def: Some(id),
+            name: format!("v{}", result.0),
+        });
+        self.ops.push(Op { id, class, sem, result: Some(result), operands, mem });
+        result
+    }
+
+    fn push_void(&mut self, class: OpClass, sem: Sem, operands: Vec<Operand>, mem: Option<MemAccess>) {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(Op { id, class, sem, result: None, operands, mem });
+    }
+
+    /// Number of operations emitted so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finish the loop: resolve carried placeholders and validate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a carried value was never closed or validation fails (these
+    /// are programming errors in kernel definitions, not runtime inputs).
+    pub fn finish(mut self) -> Loop {
+        // Rewrite placeholder uses to carried uses of the closing def.
+        for (placeholder, closing) in &self.pending {
+            let (def, distance) =
+                closing.unwrap_or_else(|| panic!("carried value {placeholder:?} never closed"));
+            for op in &mut self.ops {
+                for operand in &mut op.operands {
+                    if operand.value == *placeholder {
+                        *operand = Operand::carried(def, distance);
+                    }
+                }
+            }
+        }
+        // Drop placeholder values from use; they remain as dead entries so
+        // ValueIds stay dense (validate tolerates unused invariants).
+        let lp = Loop {
+            name: self.name,
+            ops: self.ops,
+            values: self.values,
+            arrays: self.arrays,
+        };
+        if let Err(e) = lp.validate() {
+            panic!("LoopBuilder produced invalid loop: {e}");
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_loop_validates() {
+        let mut b = LoopBuilder::new("copy");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        b.store(y, 0, 8, v);
+        let lp = b.finish();
+        assert_eq!(lp.len(), 2);
+        assert!(lp.validate().is_ok());
+    }
+
+    #[test]
+    fn carried_rewrites_to_distance_one() {
+        let mut b = LoopBuilder::new("sum");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let s1 = b.fadd(s.value(), v);
+        b.close(s, s1, 1);
+        let lp = b.finish();
+        let add = &lp.ops()[1];
+        assert_eq!(add.operands[0].distance, 1);
+        assert_eq!(add.operands[0].value, lp.ops()[1].result.unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "never closed")]
+    fn unclosed_carried_panics() {
+        let mut b = LoopBuilder::new("bad");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let _ = b.fadd(s.value(), v);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn indirect_load_is_marked() {
+        let mut b = LoopBuilder::new("gather");
+        let idx = b.array("idx", 8);
+        let data = b.array("data", 8);
+        let i = b.load_i(idx, 0, 8);
+        let _ = b.load_indirect(data, i);
+        let lp = b.finish();
+        assert!(lp.ops()[1].mem.unwrap().indirect);
+    }
+
+    #[test]
+    fn class_counts_histogram() {
+        let mut b = LoopBuilder::new("h");
+        let x = b.array("x", 8);
+        let a = b.load(x, 0, 8);
+        let c = b.fmul(a, a);
+        b.store(x, 8, 8, c);
+        let lp = b.finish();
+        let counts = lp.class_counts();
+        assert!(counts.contains(&(swp_machine::OpClass::Load, 1)));
+        assert!(counts.contains(&(swp_machine::OpClass::Store, 1)));
+        assert!(counts.contains(&(swp_machine::OpClass::FMul, 1)));
+    }
+}

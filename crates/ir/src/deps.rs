@@ -1,0 +1,199 @@
+//! Conservative memory dependence analysis.
+//!
+//! The MIPSpro compiler runs array dependence analysis before pipelining
+//! (§2.1). Our loops carry affine access descriptors, so the analysis here
+//! is exact for same-stride affine accesses and conservative for indirect
+//! or mixed-stride accesses: any pair that cannot be disambiguated is
+//! serialized within the iteration (body order) and across iterations
+//! (distance 1).
+
+use crate::ddg::{DepEdge, DepKind};
+use crate::op::{Loop, Op};
+use swp_machine::OpClass;
+
+/// Latency of a store-to-load (memory true) dependence in cycles.
+pub const MEM_TRUE_LATENCY: i64 = 1;
+/// Latency of a load-to-store (anti) dependence: they may share a cycle.
+pub const MEM_ANTI_LATENCY: i64 = 0;
+/// Latency of a store-to-store (output) dependence.
+pub const MEM_OUTPUT_LATENCY: i64 = 1;
+
+/// Maximum loop-carried distance tracked exactly; reuse farther apart than
+/// this is ignored (it cannot constrain schedules at realistic IIs).
+const MAX_TRACKED_DISTANCE: i64 = 8;
+
+/// Compute all memory dependence edges of a loop.
+///
+/// Two loads never conflict. For other same-array pairs:
+/// - both affine with equal non-zero stride: an exact distance is computed
+///   from the offset difference; non-integral differences mean independence;
+/// - stride 0, indirect, or mixed strides: conservative serialization.
+pub fn memory_deps(lp: &Loop) -> Vec<DepEdge> {
+    let mut edges = Vec::new();
+    let mem_ops: Vec<&Op> = lp.mem_ops().collect();
+    for (ai, &a) in mem_ops.iter().enumerate() {
+        for &b in &mem_ops[ai..] {
+            if a.id == b.id {
+                // A store can conflict with itself across iterations only if
+                // it revisits the same address (stride 0 or indirect).
+                let m = a.mem.expect("mem op has access");
+                if a.class == OpClass::Store && (m.indirect || m.stride == 0) {
+                    edges.push(edge(a, a, 1, DepKind::MemOutput));
+                }
+                continue;
+            }
+            analyze_pair(a, b, &mut edges);
+        }
+    }
+    edges
+}
+
+fn analyze_pair(a: &Op, b: &Op, edges: &mut Vec<DepEdge>) {
+    let ma = a.mem.expect("mem op");
+    let mb = b.mem.expect("mem op");
+    if ma.array != mb.array {
+        return;
+    }
+    if a.class == OpClass::Load && b.class == OpClass::Load {
+        return;
+    }
+
+    let exact = !ma.indirect && !mb.indirect && ma.stride == mb.stride && ma.stride != 0;
+    if !exact {
+        // Conservative: b after a in body order this iteration, and each
+        // conflicts with the other one iteration later.
+        let (first, second) = if a.id < b.id { (a, b) } else { (b, a) };
+        edges.push(edge(first, second, 0, kind_of(first, second)));
+        edges.push(edge(second, first, 1, kind_of(second, first)));
+        return;
+    }
+
+    // Equal non-zero strides: a's iteration-i address equals b's
+    // iteration-(i+d) address iff d = (oa - ob) / stride.
+    let diff = ma.offset - mb.offset;
+    if diff % ma.stride != 0 {
+        return; // addresses interleave but never collide
+    }
+    let d = diff / ma.stride;
+    if d.abs() > MAX_TRACKED_DISTANCE {
+        return;
+    }
+    match d.cmp(&0) {
+        std::cmp::Ordering::Equal => {
+            // Same address in the same iteration: body order decides.
+            let (first, second) = if a.id < b.id { (a, b) } else { (b, a) };
+            edges.push(edge(first, second, 0, kind_of(first, second)));
+        }
+        std::cmp::Ordering::Greater => {
+            edges.push(edge(a, b, d as u32, kind_of(a, b)));
+        }
+        std::cmp::Ordering::Less => {
+            edges.push(edge(b, a, (-d) as u32, kind_of(b, a)));
+        }
+    }
+}
+
+fn kind_of(from: &Op, to: &Op) -> DepKind {
+    match (from.class, to.class) {
+        (OpClass::Store, OpClass::Load) => DepKind::MemTrue,
+        (OpClass::Load, OpClass::Store) => DepKind::MemAnti,
+        _ => DepKind::MemOutput,
+    }
+}
+
+fn edge(from: &Op, to: &Op, distance: u32, kind: DepKind) -> DepEdge {
+    let latency = match kind {
+        DepKind::MemTrue => MEM_TRUE_LATENCY,
+        DepKind::MemAnti => MEM_ANTI_LATENCY,
+        DepKind::MemOutput => MEM_OUTPUT_LATENCY,
+        DepKind::Data(_) => unreachable!("data deps are not built here"),
+    };
+    DepEdge { from: from.id, to: to.id, latency, distance, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+
+    #[test]
+    fn disjoint_arrays_independent() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        b.store(y, 0, 8, v);
+        let lp = b.finish();
+        assert!(memory_deps(&lp).is_empty());
+    }
+
+    #[test]
+    fn store_then_load_next_iteration() {
+        // store a[i]; load a[i+1] — wait, the load of a[i-1] pattern:
+        // store at offset 0, load at offset -8 reads what was stored one
+        // iteration earlier: distance 1 true dependence store->load.
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", 8);
+        let v = b.load(a, -8, 8);
+        let w = b.fmul(v, v);
+        b.store(a, 0, 8, w);
+        let lp = b.finish();
+        let deps = memory_deps(&lp);
+        assert_eq!(deps.len(), 1);
+        let e = &deps[0];
+        assert_eq!(e.kind, DepKind::MemTrue);
+        assert_eq!(e.distance, 1);
+        assert_eq!(e.from, lp.ops()[2].id);
+        assert_eq!(e.to, lp.ops()[0].id);
+    }
+
+    #[test]
+    fn same_iteration_same_address_uses_body_order() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", 8);
+        let v = b.load(a, 0, 8);
+        b.store(a, 0, 8, v);
+        let lp = b.finish();
+        let deps = memory_deps(&lp);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::MemAnti);
+        assert_eq!(deps[0].distance, 0);
+    }
+
+    #[test]
+    fn indirect_is_conservative() {
+        let mut b = LoopBuilder::new("t");
+        let idx = b.array("idx", 8);
+        let a = b.array("a", 8);
+        let i = b.load_i(idx, 0, 8);
+        let v = b.load_indirect(a, i);
+        let w = b.fadd(v, v);
+        b.store_indirect(a, i, w);
+        let lp = b.finish();
+        let deps = memory_deps(&lp);
+        // load<->store serialized both directions (0 and 1), plus the
+        // store's self output dependence.
+        assert_eq!(deps.len(), 3);
+        assert!(deps.iter().any(|e| e.kind == DepKind::MemOutput && e.from == e.to));
+    }
+
+    #[test]
+    fn far_apart_offsets_ignored() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", 8);
+        let v = b.load(a, -800, 8); // 100 iterations apart: untracked
+        b.store(a, 0, 8, v);
+        let lp = b.finish();
+        assert!(memory_deps(&lp).is_empty());
+    }
+
+    #[test]
+    fn interleaved_strides_never_collide() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", 8);
+        let v = b.load(a, 4, 8); // offset not a multiple of stride apart
+        b.store(a, 0, 8, v);
+        let lp = b.finish();
+        assert!(memory_deps(&lp).is_empty());
+    }
+}

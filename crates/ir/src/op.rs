@@ -1,0 +1,322 @@
+//! Core IR types: operations, values, memory accesses, and the [`Loop`].
+
+use swp_machine::{OpClass, RegClass};
+
+/// Identifier of an operation within one [`Loop`] body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a virtual register (a loop value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an array (memory symbol) referenced by the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A use of a value. `distance` is the number of iterations ago the value
+/// was produced: 0 for same-iteration uses, ≥ 1 for loop-carried uses
+/// (recurrences). Uses of loop invariants always have distance 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operand {
+    /// The value read.
+    pub value: ValueId,
+    /// Iteration distance of the reaching definition.
+    pub distance: u32,
+}
+
+impl Operand {
+    /// A same-iteration use.
+    pub fn now(value: ValueId) -> Operand {
+        Operand { value, distance: 0 }
+    }
+
+    /// A loop-carried use from `distance` iterations ago.
+    pub fn carried(value: ValueId, distance: u32) -> Operand {
+        Operand { value, distance }
+    }
+}
+
+/// An affine (or indirect) memory access: `base(array) + offset + stride*i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// The array symbol referenced.
+    pub array: ArrayId,
+    /// Constant byte offset from the array base at iteration 0.
+    pub offset: i64,
+    /// Byte stride per loop iteration.
+    pub stride: i64,
+    /// True when the address is data-dependent (e.g. `a[idx[i]]`), in which
+    /// case `offset`/`stride` are meaningless, dependence analysis is
+    /// conservative, and the memory bank cannot be known at compile time
+    /// (§4.3's mdljdp2 discussion).
+    pub indirect: bool,
+}
+
+impl MemAccess {
+    /// Byte address of this access at iteration `i`, relative to the array
+    /// base. Meaningless for indirect accesses.
+    pub fn addr_at(&self, i: u64) -> i64 {
+        self.offset + self.stride * i as i64
+    }
+}
+
+/// Arithmetic meaning of an operation, for the functional interpreter.
+/// Distinct from [`OpClass`]: e.g. both add and subtract execute on the FP
+/// adder (`OpClass::FAdd`) but differ semantically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sem {
+    /// `a + b`.
+    Add,
+    /// `a − b`.
+    Sub,
+    /// `a · b`.
+    Mul,
+    /// `a / b`.
+    Div,
+    /// `√a`.
+    Sqrt,
+    /// `a·b + c`.
+    Madd,
+    /// `a < b` (1.0 / 0.0).
+    Lt,
+    /// `c ≠ 0 ? a : b`.
+    Select,
+    /// Identity.
+    Copy,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+}
+
+/// One operation of the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Identity within the loop.
+    pub id: OpId,
+    /// Architectural class (drives latency and resources).
+    pub class: OpClass,
+    /// Arithmetic meaning (drives the functional interpreter).
+    pub sem: Sem,
+    /// The value defined, if any (stores define none).
+    pub result: Option<ValueId>,
+    /// Values read, with iteration distances.
+    pub operands: Vec<Operand>,
+    /// Memory access descriptor for loads and stores.
+    pub mem: Option<MemAccess>,
+}
+
+impl Op {
+    /// Whether this op is a memory reference.
+    pub fn is_mem(&self) -> bool {
+        self.mem.is_some()
+    }
+}
+
+/// Descriptive information about a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueInfo {
+    /// Register class the value will occupy.
+    pub class: RegClass,
+    /// Defining operation; `None` for loop invariants (live-in values that
+    /// stay in one register for the whole loop).
+    pub def: Option<OpId>,
+    /// Debug name.
+    pub name: String,
+}
+
+impl ValueInfo {
+    /// Whether the value is a loop invariant (no definition in the body).
+    pub fn is_invariant(&self) -> bool {
+        self.def.is_none()
+    }
+}
+
+/// Descriptive information about an array symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// Debug name.
+    pub name: String,
+    /// Element size in bytes (4 = single precision, 8 = double).
+    pub elem_bytes: u32,
+    /// Byte alignment of the array base relative to the bank granule. The
+    /// R8000 banks on 8-byte boundaries, so `base_align % 16` decides which
+    /// bank `a[0]` hits. Kernels default to 0 (even-bank aligned).
+    pub base_align: u64,
+}
+
+/// An innermost loop ready for software pipelining.
+///
+/// Invariants (enforced by [`crate::LoopBuilder`]):
+/// - every value is defined by at most one op;
+/// - operands reference existing values; same-iteration operand references
+///   are acyclic except through explicitly carried uses (distance ≥ 1);
+/// - loads/stores carry a [`MemAccess`]; nothing else does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    pub(crate) name: String,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) values: Vec<ValueInfo>,
+    pub(crate) arrays: Vec<ArrayInfo>,
+}
+
+impl Loop {
+    /// Loop name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operations in body order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Look up one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.index()]
+    }
+
+    /// All values (indexed by [`ValueId`]).
+    pub fn values(&self) -> &[ValueInfo] {
+        &self.values
+    }
+
+    /// Look up one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn value(&self, id: ValueId) -> &ValueInfo {
+        &self.values[id.index()]
+    }
+
+    /// All arrays (indexed by [`ArrayId`]).
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Look up one array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        &self.arrays[id.index()]
+    }
+
+    /// Number of operations in the body.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Histogram of op classes, as consumed by
+    /// [`swp_machine::Machine::res_mii`].
+    pub fn class_counts(&self) -> Vec<(OpClass, u32)> {
+        let mut counts: Vec<(OpClass, u32)> = Vec::new();
+        for op in &self.ops {
+            match counts.iter_mut().find(|(c, _)| *c == op.class) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((op.class, 1)),
+            }
+        }
+        counts
+    }
+
+    /// Iterator over the memory-reference operations.
+    pub fn mem_ops(&self) -> impl Iterator<Item = &Op> {
+        self.ops.iter().filter(|o| o.is_mem())
+    }
+
+    /// The uses of each value, as `(user op, operand index)` pairs, indexed
+    /// by value.
+    pub fn uses(&self) -> Vec<Vec<(OpId, usize)>> {
+        let mut uses = vec![Vec::new(); self.values.len()];
+        for op in &self.ops {
+            for (i, operand) in op.operands.iter().enumerate() {
+                uses[operand.value.index()].push((op.id, i));
+            }
+        }
+        uses
+    }
+
+    /// Run internal consistency checks; used by tests and `debug_assert!`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut def_seen = vec![false; self.values.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.id.index() != i {
+                return Err(format!("op {} has id {:?}", i, op.id));
+            }
+            if let Some(r) = op.result {
+                let info = self
+                    .values
+                    .get(r.index())
+                    .ok_or_else(|| format!("op {i} defines unknown value {r:?}"))?;
+                if info.def != Some(op.id) {
+                    return Err(format!("value {r:?} def mismatch at op {i}"));
+                }
+                if def_seen[r.index()] {
+                    return Err(format!("value {r:?} defined twice"));
+                }
+                def_seen[r.index()] = true;
+            }
+            for operand in &op.operands {
+                if operand.value.index() >= self.values.len() {
+                    return Err(format!("op {i} reads unknown value {:?}", operand.value));
+                }
+                let info = &self.values[operand.value.index()];
+                if info.is_invariant() && operand.distance != 0 {
+                    return Err(format!("op {i} carried use of invariant {:?}", operand.value));
+                }
+            }
+            if op.class.is_memory() != op.mem.is_some() {
+                return Err(format!("op {i} memory descriptor mismatch"));
+            }
+            if op.class.has_result() != op.result.is_some() {
+                return Err(format!("op {i} result mismatch for class {}", op.class));
+            }
+        }
+        for (v, info) in self.values.iter().enumerate() {
+            if let Some(d) = info.def {
+                if self.ops.get(d.index()).and_then(|o| o.result) != Some(ValueId(v as u32)) {
+                    return Err(format!("value {v} claims def {d:?} which does not define it"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,57 @@
+//! Human-readable rendering of loops, for debugging and reports.
+
+use crate::op::Loop;
+use std::fmt;
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "loop {} {{", self.name)?;
+        for op in &self.ops {
+            write!(f, "  [{:>3}] ", op.id.0)?;
+            if let Some(r) = op.result {
+                write!(f, "v{} = ", r.0)?;
+            }
+            write!(f, "{}", op.class)?;
+            for (i, operand) in op.operands.iter().enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                write!(f, "{sep}v{}", operand.value.0)?;
+                if operand.distance > 0 {
+                    write!(f, "@-{}", operand.distance)?;
+                }
+            }
+            if let Some(m) = op.mem {
+                let a = &self.arrays[m.array.index()];
+                if m.indirect {
+                    write!(f, " {}[indirect]", a.name)?;
+                } else {
+                    write!(f, " {}[{}{:+}]", a.name, format_stride(m.stride), m.offset)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn format_stride(stride: i64) -> String {
+    format!("{stride}*i")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::LoopBuilder;
+
+    #[test]
+    fn display_mentions_every_op() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let s1 = b.fadd(s.value(), v);
+        b.close(s, s1, 1);
+        let text = b.finish().to_string();
+        assert!(text.contains("load"));
+        assert!(text.contains("fadd"));
+        assert!(text.contains("@-1"), "carried use rendered: {text}");
+    }
+}

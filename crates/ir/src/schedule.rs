@@ -1,0 +1,278 @@
+//! Modulo schedules and their validation.
+
+use crate::ddg::Ddg;
+use crate::op::{Loop, OpId};
+use swp_machine::{Machine, ResourceClass};
+
+/// A modulo schedule: an absolute issue cycle per operation at a fixed II.
+///
+/// Row (`time % II`) decides resource usage in the kernel; stage
+/// (`time / II`) decides how many iterations overlap in the steady state.
+///
+/// # Examples
+///
+/// ```
+/// use swp_ir::{LoopBuilder, Schedule};
+/// let mut b = LoopBuilder::new("t");
+/// let x = b.array("x", 8);
+/// let v = b.load(x, 0, 8);
+/// b.store(x, 800, 8, v);
+/// let lp = b.finish();
+/// let s = Schedule::new(2, vec![0, 4]);
+/// assert_eq!(s.row(lp.ops()[1].id), 0);
+/// assert_eq!(s.stage(lp.ops()[1].id), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    ii: u32,
+    times: Vec<i64>,
+}
+
+/// A violated schedule constraint, from [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Wrong number of op times.
+    WrongLength {
+        /// Ops in the loop.
+        expected: usize,
+        /// Times supplied.
+        actual: usize,
+    },
+    /// An op was scheduled before cycle 0.
+    NegativeTime(OpId),
+    /// A dependence arc is violated.
+    Dependence {
+        /// Arc source.
+        from: OpId,
+        /// Arc destination.
+        to: OpId,
+        /// Required minimum separation at this II.
+        needed: i64,
+        /// Actual separation.
+        actual: i64,
+    },
+    /// A modulo reservation row is over-subscribed.
+    Resource {
+        /// Kernel row.
+        row: u32,
+        /// Resource class over-used.
+        class: ResourceClass,
+        /// Uses in that row.
+        used: u32,
+        /// Available units.
+        units: u32,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, actual } => {
+                write!(f, "schedule has {actual} times for {expected} ops")
+            }
+            ScheduleError::NegativeTime(op) => write!(f, "op {op:?} scheduled before cycle 0"),
+            ScheduleError::Dependence { from, to, needed, actual } => write!(
+                f,
+                "dependence {from:?}→{to:?} violated: separation {actual} < {needed}"
+            ),
+            ScheduleError::Resource { row, class, used, units } => {
+                write!(f, "row {row} uses {used} {class} units of {units}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Wrap raw times at an II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(ii: u32, times: Vec<i64>) -> Schedule {
+        assert!(ii > 0, "II must be positive");
+        Schedule { ii, times }
+    }
+
+    /// The iteration interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Issue cycle of an op.
+    pub fn time(&self, op: OpId) -> i64 {
+        self.times[op.index()]
+    }
+
+    /// All times, op-indexed.
+    pub fn times(&self) -> &[i64] {
+        &self.times
+    }
+
+    /// Kernel row of an op (`time mod II`).
+    pub fn row(&self, op: OpId) -> u32 {
+        (self.time(op).rem_euclid(i64::from(self.ii))) as u32
+    }
+
+    /// Pipeline stage of an op (`time div II`).
+    pub fn stage(&self, op: OpId) -> u32 {
+        (self.time(op).div_euclid(i64::from(self.ii))) as u32
+    }
+
+    /// Latest issue cycle.
+    pub fn span(&self) -> i64 {
+        self.times.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of overlapped stages in the steady state.
+    pub fn stage_count(&self) -> u32 {
+        (self.span() / i64::from(self.ii)) as u32 + 1
+    }
+
+    /// Check dependence and modulo resource constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self, lp: &Loop, ddg: &Ddg, machine: &Machine) -> Result<(), ScheduleError> {
+        if self.times.len() != lp.len() {
+            return Err(ScheduleError::WrongLength { expected: lp.len(), actual: self.times.len() });
+        }
+        for op in lp.ops() {
+            if self.time(op.id) < 0 {
+                return Err(ScheduleError::NegativeTime(op.id));
+            }
+        }
+        let ii = i64::from(self.ii);
+        for e in ddg.edges() {
+            let needed = e.latency - ii * i64::from(e.distance);
+            let actual = self.time(e.to) - self.time(e.from);
+            if actual < needed {
+                return Err(ScheduleError::Dependence { from: e.from, to: e.to, needed, actual });
+            }
+        }
+        // Modulo reservation table.
+        let mut table = vec![[0u32; 4]; self.ii as usize];
+        for op in lp.ops() {
+            for r in machine.reservations(op.class) {
+                for d in 0..r.duration {
+                    let row =
+                        ((self.time(op.id) + i64::from(d)).rem_euclid(ii)) as usize;
+                    table[row][r.class.index()] += 1;
+                }
+            }
+        }
+        for (row, counts) in table.iter().enumerate() {
+            for class in ResourceClass::ALL {
+                let used = counts[class.index()];
+                let units = machine.units(class);
+                if used > units {
+                    return Err(ScheduleError::Resource { row: row as u32, class, used, units });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use swp_machine::Machine;
+
+    fn pair_loop() -> Loop {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(y, 0, 8, w);
+        b.finish()
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let m = Machine::r8000();
+        let lp = pair_loop();
+        let ddg = Ddg::build(&lp, &m);
+        // load@0, fadd@4, store@8 at II=1.
+        let s = Schedule::new(1, vec![0, 4, 8]);
+        assert_eq!(s.validate(&lp, &ddg, &m), Ok(()));
+        assert_eq!(s.stage_count(), 9);
+    }
+
+    #[test]
+    fn latency_violation_detected() {
+        let m = Machine::r8000();
+        let lp = pair_loop();
+        let ddg = Ddg::build(&lp, &m);
+        let s = Schedule::new(2, vec![0, 2, 8]); // fadd 2 cycles after load (needs 4)
+        assert!(matches!(
+            s.validate(&lp, &ddg, &m),
+            Err(ScheduleError::Dependence { .. })
+        ));
+    }
+
+    #[test]
+    fn resource_violation_detected() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v1 = b.load(x, 0, 8);
+        let v2 = b.load(x, 800, 8);
+        let v3 = b.load(x, 1600, 8);
+        let s = b.fadd(v1, v2);
+        let s2 = b.fadd(s, v3);
+        b.store(x, 2400, 8, s2);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        // Three loads in the same row of II=2: 3 > 2 memory units.
+        let s = Schedule::new(2, vec![0, 2, 4, 8, 12, 16]);
+        assert!(matches!(
+            s.validate(&lp, &ddg, &m),
+            Err(ScheduleError::Resource { .. })
+        ));
+    }
+
+    #[test]
+    fn carried_dependence_relaxed_by_distance() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let s1 = b.fadd(s.value(), v);
+        b.close(s, s1, 1);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        // Self-arc: needs 4 - II ≤ 0 separation at II=4.
+        let sched = Schedule::new(4, vec![0, 4]);
+        assert_eq!(sched.validate(&lp, &ddg, &m), Ok(()));
+    }
+
+    #[test]
+    fn unpipelined_op_blocks_rows() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let d1 = b.fdiv(v, v);
+        let d2 = b.fdiv(d1, v);
+        let d3 = b.fdiv(d2, v);
+        b.store(x, 800, 8, d3);
+        let lp = b.finish();
+        let ddg = Ddg::build(&lp, &m);
+        // Three divides (occupancy 11) on 2 FP pipes at II=11: 33 slots > 22.
+        let t0 = 0i64;
+        let t1 = 4;
+        let t2 = t1 + 14;
+        let t3 = t2 + 14;
+        let s = Schedule::new(11, vec![t0, t1, t2, t3, t3 + 14]);
+        assert!(matches!(
+            s.validate(&lp, &ddg, &m),
+            Err(ScheduleError::Resource { .. })
+        ));
+    }
+}

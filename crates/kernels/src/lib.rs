@@ -1,0 +1,24 @@
+//! Benchmark workloads for the Showdown reproduction.
+//!
+//! - [`livermore`]: all 24 Livermore loops (Figure 6/7's workload),
+//! - [`spec_suites`]: 14 SPEC92fp-like suites (Figures 2-5's workload;
+//!   see DESIGN.md for the substitution rationale),
+//! - [`gen`]: a parameterized random-loop generator for the §5.0
+//!   loop-size scalability experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! let kernels = swp_kernels::livermore();
+//! assert_eq!(kernels.len(), 24);
+//! let suites = swp_kernels::spec_suites();
+//! assert_eq!(suites.len(), 14);
+//! ```
+
+pub mod gen;
+mod livermore;
+mod spec;
+
+pub use gen::{random_loop, GenParams};
+pub use livermore::{livermore, Kernel};
+pub use spec::{spec_suites, Suite, WeightedLoop};

@@ -1,0 +1,640 @@
+//! The 24 Livermore loops, translated to the loop IR.
+//!
+//! Each kernel reproduces the published Fortran's *inner loop shape*: the
+//! operation mix, memory reference pattern (offsets/strides in bytes of
+//! double-precision elements), recurrences, and conditional structure.
+//! Where the original uses intrinsics we have no class for (`EXP` in
+//! kernel 22), a documented polynomial substitution with the same op
+//! count shape is used. Trip counts follow the benchmark's long/short
+//! spans.
+
+use swp_ir::hir::{HExpr, HStmt, HirLoop};
+use swp_ir::{Loop, LoopBuilder, ValueId};
+
+/// One Livermore kernel with its benchmark trip counts.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel number (1-24).
+    pub number: u32,
+    /// Conventional name.
+    pub name: &'static str,
+    /// The loop body.
+    pub body: Loop,
+    /// Short-span trip count.
+    pub short_trip: u64,
+    /// Long-span trip count.
+    pub long_trip: u64,
+}
+
+const W: i64 = 8; // double-precision element size in bytes
+
+fn k(number: u32, name: &'static str, body: Loop, short_trip: u64, long_trip: u64) -> Kernel {
+    debug_assert_eq!(body.validate(), Ok(()));
+    Kernel { number, name, body, short_trip, long_trip }
+}
+
+/// Build all 24 kernels.
+pub fn livermore() -> Vec<Kernel> {
+    vec![
+        k(1, "hydro fragment", k1(), 27, 1001),
+        k(2, "ICCG excerpt", k2(), 15, 101),
+        k(3, "inner product", k3(), 27, 1001),
+        k(4, "banded linear equations", k4(), 20, 600),
+        k(5, "tri-diagonal elimination", k5(), 27, 1001),
+        k(6, "general linear recurrence", k6(), 10, 64),
+        k(7, "equation of state", k7(), 21, 995),
+        k(8, "ADI integration", k8(), 10, 100),
+        k(9, "integrate predictors", k9(), 15, 101),
+        k(10, "difference predictors", k10(), 15, 101),
+        k(11, "first sum", k11(), 27, 1001),
+        k(12, "first difference", k12(), 27, 1000),
+        k(13, "2-D PIC", k13(), 32, 128),
+        k(14, "1-D PIC", k14(), 32, 1001),
+        k(15, "casual Fortran", k15(), 32, 101),
+        k(16, "Monte Carlo search", k16(), 32, 75),
+        k(17, "implicit conditional", k17(), 32, 101),
+        k(18, "2-D explicit hydro", k18(), 25, 100),
+        k(19, "general linear recurrence II", k19(), 32, 101),
+        k(20, "discrete ordinates transport", k20(), 25, 1000),
+        k(21, "matrix product", k21(), 25, 101),
+        k(22, "Planckian distribution", k22(), 25, 101),
+        k(23, "2-D implicit hydro", k23(), 25, 100),
+        k(24, "first minimum", k24(), 27, 1001),
+    ]
+}
+
+/// K1: `x[k] = q + y[k]·(r·z[k+10] + t·z[k+11])`.
+fn k1() -> Loop {
+    let mut b = LoopBuilder::new("lk1");
+    let q = b.invariant_f("q");
+    let r = b.invariant_f("r");
+    let t = b.invariant_f("t");
+    let y = b.array("y", 8);
+    let z = b.array("z", 8);
+    let x = b.array("x", 8);
+    let z10 = b.load(z, 10 * W, W);
+    let z11 = b.load(z, 11 * W, W);
+    let yk = b.load(y, 0, W);
+    let rz = b.fmul(r, z10);
+    let inner = b.fmadd(t, z11, rz);
+    let prod = b.fmul(yk, inner);
+    let res = b.fadd(q, prod);
+    b.store(x, 0, W, res);
+    b.finish()
+}
+
+/// K2: ICCG inner excerpt — `x[i] = x[i] − v[i]·x[i−1]` style first-order
+/// recurrence carried through memory and a register.
+fn k2() -> Loop {
+    let mut b = LoopBuilder::new("lk2");
+    let v = b.array("v", 8);
+    let y = b.array("y", 8);
+    let x = b.array("x", 8);
+    let vi = b.load(v, 0, W);
+    let yi = b.load(y, 0, W);
+    let s = b.carried_f("xprev");
+    let prod = b.fmul(vi, s.value());
+    let xi = b.fsub(yi, prod);
+    b.close(s, xi, 1);
+    b.store(x, 0, W, xi);
+    b.finish()
+}
+
+/// K3: inner product `q += z[k]·x[k]`.
+fn k3() -> Loop {
+    let mut b = LoopBuilder::new("lk3");
+    let z = b.array("z", 8);
+    let x = b.array("x", 8);
+    let q = b.carried_f("q");
+    let zk = b.load(z, 0, W);
+    let xk = b.load(x, 0, W);
+    let q1 = b.fmadd(zk, xk, q.value());
+    b.close(q, q1, 1);
+    b.finish()
+}
+
+/// K4: banded linear equations — strided dot product
+/// `xz[...] −= Σ y[j]·xz[j]` modeled at its inner stride-5 reduction.
+fn k4() -> Loop {
+    let mut b = LoopBuilder::new("lk4");
+    let y = b.array("y", 8);
+    let xz = b.array("xz", 8);
+    let s = b.carried_f("s");
+    let yj = b.load(y, 0, 5 * W);
+    let xj = b.load(xz, 0, 5 * W);
+    let s1 = b.fmadd(yj, xj, s.value());
+    b.close(s, s1, 1);
+    b.finish()
+}
+
+/// K5: tri-diagonal elimination `x[i] = z[i]·(y[i] − x[i−1])`.
+fn k5() -> Loop {
+    let mut b = LoopBuilder::new("lk5");
+    let z = b.array("z", 8);
+    let y = b.array("y", 8);
+    let x = b.array("x", 8);
+    let zi = b.load(z, 0, W);
+    let yi = b.load(y, 0, W);
+    let prev = b.load(x, -W, W); // x[i-1] written last iteration
+    let diff = b.fsub(yi, prev);
+    let xi = b.fmul(zi, diff);
+    b.store(x, 0, W, xi);
+    b.finish()
+}
+
+/// K6: general linear recurrence `w[i] += b[k]·w[i−k]` — inner loop with a
+/// carried partial sum and a strided access to earlier w values.
+fn k6() -> Loop {
+    let mut b = LoopBuilder::new("lk6");
+    let bb = b.array("b", 8);
+    let w = b.array("w", 8);
+    let s = b.carried_f("s");
+    let bk = b.load(bb, 0, W);
+    let wk = b.load(w, -4 * W, W);
+    let s1 = b.fmadd(bk, wk, s.value());
+    b.close(s, s1, 1);
+    b.finish()
+}
+
+/// K7: equation of state fragment — the classic madd ladder.
+fn k7() -> Loop {
+    let mut b = LoopBuilder::new("lk7");
+    let r = b.invariant_f("r");
+    let t = b.invariant_f("t");
+    let q = b.invariant_f("q");
+    let u = b.array("u", 8);
+    let y = b.array("y", 8);
+    let z = b.array("z", 8);
+    let x = b.array("x", 8);
+    let uk = b.load(u, 0, W);
+    let u1 = b.load(u, W, W);
+    let u2 = b.load(u, 2 * W, W);
+    let u3 = b.load(u, 3 * W, W);
+    let u4 = b.load(u, 4 * W, W);
+    let u5 = b.load(u, 5 * W, W);
+    let u6 = b.load(u, 6 * W, W);
+    let yk = b.load(y, 0, W);
+    let zk = b.load(z, 0, W);
+    let ry = b.fmadd(r, yk, zk); // z + r·y
+    let a = b.fmadd(r, ry, uk); // u + r·(z + r·y)
+    let qu4 = b.fmadd(q, u4, u5); // u5 + q·u4
+    let qq = b.fmadd(q, qu4, u6); // u6 + q·(…)
+    let ru1 = b.fmadd(r, u1, u2); // u2 + r·u1
+    let rr = b.fmadd(r, ru1, u3); // u3 + r·(…)
+    let tq = b.fmadd(t, qq, rr); // rr + t·qq — inner of the t·(…) term
+    let res = b.fmadd(t, tq, a);
+    b.store(x, 0, W, res);
+    b.finish()
+}
+
+/// K8: ADI integration — a wide multi-array stencil body.
+fn k8() -> Loop {
+    let mut b = LoopBuilder::new("lk8");
+    let a11 = b.invariant_f("a11");
+    let a12 = b.invariant_f("a12");
+    let a13 = b.invariant_f("a13");
+    let a21 = b.invariant_f("a21");
+    let a22 = b.invariant_f("a22");
+    let a23 = b.invariant_f("a23");
+    let du1 = b.array("du1", 8);
+    let du2 = b.array("du2", 8);
+    let du3 = b.array("du3", 8);
+    let u1 = b.array("u1", 8);
+    let u2 = b.array("u2", 8);
+    let u3 = b.array("u3", 8);
+    let d1 = b.load(du1, 0, W);
+    let d2 = b.load(du2, 0, W);
+    let d3 = b.load(du3, 0, W);
+    let v1 = b.load(u1, 0, W);
+    let v2 = b.load(u2, 0, W);
+    let v3 = b.load(u3, 0, W);
+    let t1 = b.fmul(a11, d1);
+    let t2 = b.fmadd(a12, d2, t1);
+    let t3 = b.fmadd(a13, d3, t2);
+    let r1 = b.fadd(v1, t3);
+    b.store(u1, W, W, r1);
+    let s1 = b.fmul(a21, d1);
+    let s2 = b.fmadd(a22, d2, s1);
+    let s3 = b.fmadd(a23, d3, s2);
+    let r2 = b.fadd(v2, s3);
+    b.store(u2, W, W, r2);
+    let w1 = b.fmul(a13, d1);
+    let w2 = b.fmadd(a21, d2, w1);
+    let w3 = b.fmadd(a22, d3, w2);
+    let r3 = b.fadd(v3, w3);
+    b.store(u3, W, W, r3);
+    b.finish()
+}
+
+/// K9: integrate predictors — a 10-term coefficient ladder over one row.
+fn k9() -> Loop {
+    let mut b = LoopBuilder::new("lk9");
+    let px = b.array("px", 8);
+    // px is a 2-D array (row per i); model 13 columns with fixed offsets
+    // and a row stride of 16 doubles.
+    let row = 16 * W;
+    let coeffs: Vec<ValueId> = (0..9).map(|c| b.invariant_f(&format!("dm{c}"))).collect();
+    let base = b.load(px, 4 * W, row);
+    let mut acc = base;
+    for (c, &dm) in coeffs.iter().enumerate() {
+        let col = b.load(px, (5 + c as i64) * W, row);
+        acc = b.fmadd(dm, col, acc);
+    }
+    b.store(px, 0, row, acc);
+    b.finish()
+}
+
+/// K10: difference predictors — cascaded differences stored to columns.
+fn k10() -> Loop {
+    let mut b = LoopBuilder::new("lk10");
+    let px = b.array("px", 8);
+    let cx = b.array("cx", 8);
+    let row = 16 * W;
+    let ar = b.load(cx, 4 * W, row);
+    let mut prev = ar;
+    // br = ar - px[5]; px[5] = ar; cascades down the columns.
+    for c in 0..6 {
+        let pxc = b.load(px, (5 + c as i64) * W, row);
+        let diff = b.fsub(prev, pxc);
+        b.store(px, (5 + c as i64) * W, row, prev);
+        prev = diff;
+    }
+    b.store(px, 11 * W, row, prev);
+    b.finish()
+}
+
+/// K11: first sum `x[k] = x[k−1] + y[k]` (prefix sum recurrence).
+fn k11() -> Loop {
+    let mut b = LoopBuilder::new("lk11");
+    let y = b.array("y", 8);
+    let x = b.array("x", 8);
+    let s = b.carried_f("sum");
+    let yk = b.load(y, 0, W);
+    let xk = b.fadd(s.value(), yk);
+    b.close(s, xk, 1);
+    b.store(x, 0, W, xk);
+    b.finish()
+}
+
+/// K12: first difference `x[k] = y[k+1] − y[k]` (fully parallel).
+fn k12() -> Loop {
+    let mut b = LoopBuilder::new("lk12");
+    let y = b.array("y", 8);
+    let x = b.array("x", 8);
+    let y1 = b.load(y, W, W);
+    let y0 = b.load(y, 0, W);
+    let d = b.fsub(y1, y0);
+    b.store(x, 0, W, d);
+    b.finish()
+}
+
+/// K13: 2-D particle-in-cell — indirect gathers and scatters.
+fn k13() -> Loop {
+    let mut b = LoopBuilder::new("lk13");
+    let p = b.array("p", 8);
+    let bgrid = b.array("b", 8);
+    let c = b.array("c", 8);
+    let y = b.array("y", 8);
+    let z = b.array("z", 8);
+    let one = b.invariant_f("one");
+    let p1 = b.load(p, 0, 4 * W);
+    let p2 = b.load(p, W, 4 * W);
+    let i1 = b.ftoi(p1);
+    let j1 = b.ftoi(p2);
+    let bg = b.load_indirect(bgrid, i1);
+    let cg = b.load_indirect(c, j1);
+    let np1 = b.fadd(p1, bg);
+    let np2 = b.fadd(p2, cg);
+    b.store(p, 0, 4 * W, np1);
+    b.store(p, W, 4 * W, np2);
+    let yv = b.load_indirect(y, i1);
+    let zv = b.load_indirect(z, j1);
+    let upd = b.fadd(yv, one);
+    let upd2 = b.fadd(zv, upd);
+    b.store_indirect(y, i1, upd2);
+    b.finish()
+}
+
+/// K14: 1-D particle-in-cell — indirect with an integer index stream.
+fn k14() -> Loop {
+    let mut b = LoopBuilder::new("lk14");
+    let grd = b.array("grd", 8);
+    let dex = b.array("dex", 8);
+    let xx = b.array("xx", 8);
+    let ex = b.array("ex", 8);
+    let ir = b.load_i(grd, 0, W);
+    let xi = b.load(xx, 0, W);
+    let exv = b.load_indirect(ex, ir);
+    let dexv = b.load(dex, 0, W);
+    let vx = b.fmadd(exv, dexv, xi);
+    b.store(xx, 0, W, vx);
+    let fl = b.fadd(vx, exv);
+    b.store_indirect(dex, ir, fl);
+    b.finish()
+}
+
+/// K15: "casual Fortran" matrix manipulation with embedded conditionals,
+/// if-converted as MIPSpro would.
+fn k15() -> Loop {
+    let vs = HExpr::load("vs", 0, 8);
+    let vy = HExpr::load("vy", 0, 8);
+    let vh = HExpr::load("vh", 8, 8);
+    let zero = HExpr::invariant("zero");
+    let h = HirLoop::new(
+        "lk15",
+        vec![
+            HStmt::let_("t", HExpr::mul(vs.clone(), vy.clone())),
+            HStmt::if_(
+                HExpr::lt(vy, zero.clone()),
+                vec![HStmt::let_("r", zero.clone())],
+                vec![HStmt::let_("r", HExpr::add(HExpr::local("t"), vh))],
+            ),
+            HStmt::store("vg", 0, 8, HExpr::local("r")),
+        ],
+    );
+    h.lower()
+}
+
+/// K16: Monte Carlo search — a branchy scan, if-converted to selects.
+fn k16() -> Loop {
+    let zone = HExpr::load("zone", 0, 8);
+    let plan = HExpr::load("plan", 0, 8);
+    let tst = HExpr::invariant("t");
+    let h = HirLoop::new(
+        "lk16",
+        vec![
+            HStmt::let_("d", HExpr::sub(plan.clone(), zone.clone())),
+            HStmt::if_(
+                HExpr::lt(HExpr::local("d"), tst.clone()),
+                vec![HStmt::set_carried("hit", HExpr::add(HExpr::carried("hit"), HExpr::invariant("one")))],
+                vec![HStmt::set_carried("miss", HExpr::add(HExpr::carried("miss"), HExpr::invariant("one")))],
+            ),
+            HStmt::store("r", 0, 8, HExpr::local("d")),
+        ],
+    );
+    h.lower()
+}
+
+/// K17: implicit conditional computation over a recurrence.
+fn k17() -> Loop {
+    let vxne = HExpr::carried("xnm");
+    let ve3 = HExpr::load("ve3", 0, 8);
+    let vlr = HExpr::load("vlr", 0, 8);
+    let h = HirLoop::new(
+        "lk17",
+        vec![
+            HStmt::let_("scale", HExpr::div(ve3.clone(), vlr.clone())),
+            HStmt::if_(
+                HExpr::lt(HExpr::local("scale"), HExpr::invariant("cut")),
+                vec![HStmt::set_carried("xnm", HExpr::mul(vxne.clone(), vlr.clone()))],
+                vec![HStmt::set_carried("xnm", HExpr::madd(HExpr::local("scale"), ve3, vxne))],
+            ),
+            HStmt::store("vxnd", 0, 8, HExpr::carried("xnm")),
+        ],
+    );
+    h.lower()
+}
+
+/// K18: 2-D explicit hydrodynamics fragment — a wide 9-point stencil over
+/// several field arrays (the biggest straight-line Livermore body).
+fn k18() -> Loop {
+    let mut b = LoopBuilder::new("lk18");
+    let row = 128 * W; // leading dimension
+    let za = b.array("za", 8);
+    let zb = b.array("zb", 8);
+    let zm = b.array("zm", 8);
+    let zp = b.array("zp", 8);
+    let zq = b.array("zq", 8);
+    let zr = b.array("zr", 8);
+    let zu = b.array("zu", 8);
+    let zv = b.array("zv", 8);
+    let t = b.invariant_f("t");
+    let s = b.invariant_f("s");
+    // First fragment: za = (zp + zq stencil combination).
+    let zp0 = b.load(zp, 0, W);
+    let zp_s = b.load(zp, -row, W);
+    let zq0 = b.load(zq, 0, W);
+    let zq_s = b.load(zq, -row, W);
+    let zr0 = b.load(zr, 0, W);
+    let zm0 = b.load(zm, 0, W);
+    let sum1 = b.fadd(zp0, zq0);
+    let sum2 = b.fadd(zp_s, zq_s);
+    let num = b.fsub(sum1, sum2);
+    let den = b.fadd(zr0, zm0);
+    let zav = b.fdiv(num, den);
+    b.store(za, 0, W, zav);
+    // Second fragment: zu/zv updates from za/zb and neighbors.
+    let zb0 = b.load(zb, 0, W);
+    let za_e = b.load(za, -W, W);
+    let zu0 = b.load(zu, 0, W);
+    let zv0 = b.load(zv, 0, W);
+    let d1 = b.fsub(zav, za_e);
+    let d2 = b.fsub(zb0, zav);
+    let un = b.fmadd(t, d1, zu0);
+    let un2 = b.fmadd(s, d2, un);
+    b.store(zu, 0, W, un2);
+    let vn = b.fmadd(t, d2, zv0);
+    let vn2 = b.fmadd(s, d1, vn);
+    b.store(zv, 0, W, vn2);
+    b.finish()
+}
+
+/// K19: general linear recurrence equations (forward sweep).
+fn k19() -> Loop {
+    let mut b = LoopBuilder::new("lk19");
+    let sa = b.array("sa", 8);
+    let sb = b.array("sb", 8);
+    let stb = b.array("stb", 8);
+    let coef = b.invariant_f("stb_coef");
+    let s = b.carried_f("stb5");
+    let sak = b.load(sa, 0, W);
+    let sbk = b.load(sb, 0, W);
+    let t = b.fmul(s.value(), coef);
+    let u = b.fsub(sak, t);
+    let r = b.fmadd(u, sbk, s.value());
+    b.close(s, r, 1);
+    b.store(stb, 0, W, r);
+    b.finish()
+}
+
+/// K20: discrete ordinates transport — recurrence with a divide in it.
+fn k20() -> Loop {
+    let mut b = LoopBuilder::new("lk20");
+    let g = b.array("g", 8);
+    let u = b.array("u", 8);
+    let v = b.array("v", 8);
+    let xx = b.array("xx", 8);
+    let dk = b.invariant_f("dk");
+    let s = b.carried_f("xx_prev");
+    let gk = b.load(g, 0, W);
+    let uk = b.load(u, 0, W);
+    let vk = b.load(v, 0, W);
+    let di = b.fadd(gk, s.value());
+    let dn = b.fdiv(vk, di);
+    let t = b.fmadd(uk, dn, s.value());
+    let xxk = b.fmadd(dk, t, gk);
+    b.close(s, xxk, 1);
+    b.store(xx, 0, W, xxk);
+    b.finish()
+}
+
+/// K21: matrix·matrix product inner loop (dot product with row stride).
+fn k21() -> Loop {
+    let mut b = LoopBuilder::new("lk21");
+    let vy = b.array("vy", 8);
+    let cx = b.array("cx", 8);
+    let s = b.carried_f("px");
+    let a = b.load(cx, 0, W);
+    let v = b.load(vy, 0, 25 * W);
+    let s1 = b.fmadd(a, v, s.value());
+    b.close(s, s1, 1);
+    b.finish()
+}
+
+/// K22: Planckian distribution. The Fortran computes
+/// `w = x / (exp(y) − 1)`; `exp` has no machine class, so a 4-term
+/// polynomial (madd ladder) stands in — same memory shape, similar FP mix,
+/// plus the divide that dominates the recurrence-free body.
+fn k22() -> Loop {
+    let mut b = LoopBuilder::new("lk22");
+    let u = b.array("u", 8);
+    let v = b.array("v", 8);
+    let x = b.array("x", 8);
+    let y = b.array("y", 8);
+    let w = b.array("w", 8);
+    let c1 = b.invariant_f("c1");
+    let c2 = b.invariant_f("c2");
+    let c3 = b.invariant_f("c3");
+    let uk = b.load(u, 0, W);
+    let vk = b.load(v, 0, W);
+    let xk = b.load(x, 0, W);
+    let yk = b.fdiv(uk, vk);
+    b.store(y, 0, W, yk);
+    // exp(y) − 1 ≈ y·(c1 + y·(c2 + y·c3)) — documented substitution.
+    let p1 = b.fmadd(yk, c3, c2);
+    let p2 = b.fmadd(yk, p1, c1);
+    let em1 = b.fmul(yk, p2);
+    let wk = b.fdiv(xk, em1);
+    b.store(w, 0, W, wk);
+    b.finish()
+}
+
+/// K23: 2-D implicit hydrodynamics fragment — stencil plus recurrence.
+fn k23() -> Loop {
+    let mut b = LoopBuilder::new("lk23");
+    let row = 128 * W;
+    let za = b.array("za", 8);
+    let zz = b.array("zz", 8);
+    let zr = b.array("zr", 8);
+    let zb = b.array("zb", 8);
+    let s = b.invariant_f("s");
+    let qa_w = b.load(za, -W, W);
+    let qa_n = b.load(za, -row, W);
+    let qa_s = b.load(za, row, W);
+    let zrk = b.load(zr, 0, W);
+    let zbk = b.load(zb, 0, W);
+    let zzk = b.load(zz, 0, W);
+    let t1 = b.fmul(qa_n, zrk);
+    let t2 = b.fmadd(qa_s, zbk, t1);
+    let t3 = b.fadd(t2, qa_w);
+    let qa = b.fmul(t3, s);
+    let d = b.fsub(qa, zzk);
+    let r = b.fmadd(s, d, zzk);
+    b.store(za, 0, W, r);
+    b.finish()
+}
+
+/// K24: find location of first minimum — compare/select (argmin)
+/// reduction, the canonical if-conversion consumer.
+fn k24() -> Loop {
+    let xk = HExpr::load("x", 0, 8);
+    let h = HirLoop::new(
+        "lk24",
+        vec![HStmt::if_(
+            HExpr::lt(xk.clone(), HExpr::carried("min")),
+            vec![
+                HStmt::set_carried("min", xk),
+                HStmt::set_carried("loc", HExpr::carried("k")),
+            ],
+            vec![],
+        ),
+        HStmt::set_carried("k", HExpr::add(HExpr::carried("k"), HExpr::invariant("one")))],
+    );
+    h.lower()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::Ddg;
+    use swp_machine::Machine;
+
+    #[test]
+    fn all_24_kernels_build_and_validate() {
+        let ks = livermore();
+        assert_eq!(ks.len(), 24);
+        for k in &ks {
+            assert_eq!(k.body.validate(), Ok(()), "kernel {} ({})", k.number, k.name);
+            assert!(!k.body.is_empty(), "kernel {}", k.number);
+            assert!(k.short_trip < k.long_trip);
+        }
+    }
+
+    #[test]
+    fn kernel_numbers_are_1_to_24() {
+        let nums: Vec<u32> = livermore().iter().map(|k| k.number).collect();
+        assert_eq!(nums, (1..=24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recurrences_present_where_expected() {
+        let m = Machine::r8000();
+        let ks = livermore();
+        for k in &ks {
+            let ddg = Ddg::build(&k.body, &m);
+            let cyclic = ddg.sccs().iter().any(|s| s.nontrivial);
+            match k.number {
+                2 | 3 | 4 | 5 | 6 | 11 | 16 | 17 | 19 | 20 | 21 | 24 => {
+                    assert!(cyclic, "kernel {} should carry a recurrence", k.number);
+                }
+                1 | 7 | 12 | 22 => {
+                    assert!(!cyclic, "kernel {} should be fully parallel", k.number);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn pic_kernels_use_indirection() {
+        let ks = livermore();
+        for k in ks.iter().filter(|k| k.number == 13 || k.number == 14) {
+            assert!(
+                k.body.mem_ops().any(|o| o.mem.is_some_and(|m| m.indirect)),
+                "kernel {} is PIC and must gather/scatter",
+                k.number
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_kernels_are_if_converted() {
+        let ks = livermore();
+        for k in ks.iter().filter(|k| [15, 16, 17, 24].contains(&k.number)) {
+            assert!(
+                k.body.ops().iter().any(|o| o.class == swp_machine::OpClass::CMov),
+                "kernel {} must contain conditional moves",
+                k.number
+            );
+        }
+    }
+
+    #[test]
+    fn every_kernel_pipelines_on_r8000() {
+        let m = Machine::r8000();
+        for k in livermore() {
+            let r = swp_heur::pipeline(&k.body, &m, &swp_heur::HeurOptions::default());
+            assert!(r.is_ok(), "kernel {} ({}) failed: {:?}", k.number, k.name, r.err());
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! SPEC92 floating-point-like benchmark suites.
+//!
+//! The paper evaluates on the 14 SPEC92fp benchmarks. We cannot ship
+//! SPEC's sources, so each benchmark is modeled as a small weighted set of
+//! inner loops whose *shape* — operation mix, memory pattern, trip count,
+//! recurrences, indirection, precision — follows what the paper (and the
+//! public record of these codes) says dominates its runtime. All paper
+//! comparisons are relative (enabled/disabled, ILP/heuristic), which these
+//! shapes preserve; see DESIGN.md §2 for the substitution argument.
+
+use swp_ir::{Loop, LoopBuilder};
+
+/// One weighted inner loop of a benchmark suite.
+#[derive(Debug, Clone)]
+pub struct WeightedLoop {
+    /// Loop name.
+    pub name: String,
+    /// The body.
+    pub body: Loop,
+    /// Fraction of benchmark time spent here (weights sum to ~1).
+    pub weight: f64,
+    /// Typical trip count.
+    pub trip: u64,
+}
+
+/// A benchmark suite: a named set of weighted loops.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Benchmark name (SPEC92fp).
+    pub name: &'static str,
+    /// Its hot loops.
+    pub loops: Vec<WeightedLoop>,
+}
+
+impl Suite {
+    /// Weighted-harmonic aggregate of per-loop cycle counts into a single
+    /// benchmark time (arbitrary units): `Σ weight·cycles_per_element`.
+    pub fn aggregate_time(&self, per_loop_cycles: &[f64]) -> f64 {
+        assert_eq!(per_loop_cycles.len(), self.loops.len());
+        self.loops
+            .iter()
+            .zip(per_loop_cycles)
+            .map(|(l, &c)| l.weight * c / l.trip as f64)
+            .sum()
+    }
+}
+
+fn wl(name: &str, body: Loop, weight: f64, trip: u64) -> WeightedLoop {
+    debug_assert_eq!(body.validate(), Ok(()));
+    WeightedLoop { name: name.to_owned(), body, weight, trip }
+}
+
+const W: i64 = 8;
+const S: i64 = 4; // single-precision element
+
+/// Build all 14 SPEC92fp-like suites, in the paper's Figure 2 order.
+pub fn spec_suites() -> Vec<Suite> {
+    vec![
+        spice2g6(),
+        doduc(),
+        mdljdp2(),
+        wave5(),
+        tomcatv(),
+        ora(),
+        alvinn(),
+        ear(),
+        mdljsp2(),
+        swm256(),
+        su2cor(),
+        hydro2d(),
+        nasa7(),
+        fpppp(),
+    ]
+}
+
+/// spice2g6: sparse-matrix circuit simulation — short, indirect loops that
+/// pipelining barely helps (the paper's worst case for the pipeliner).
+fn spice2g6() -> Suite {
+    let mut b = LoopBuilder::new("spice.sparse_axpy");
+    let idx = b.array("idx", 8);
+    let a = b.array("a", 8);
+    let x = b.array("x", 8);
+    let i = b.load_i(idx, 0, W);
+    let av = b.load(a, 0, W);
+    let xv = b.load_indirect(x, i);
+    let r = b.fmadd(av, xv, xv);
+    b.store_indirect(x, i, r);
+    let sparse = b.finish();
+
+    let mut b = LoopBuilder::new("spice.scan");
+    let v = b.array("v", 8);
+    let g = b.array("g", 8);
+    let vv = b.load(v, 0, W);
+    let gv = b.load(g, 0, W);
+    let p = b.fmul(vv, gv);
+    b.store(g, 0, W, p);
+    let scan = b.finish();
+
+    Suite {
+        name: "spice2g6",
+        loops: vec![wl("sparse_axpy", sparse, 0.6, 24), wl("scan", scan, 0.4, 40)],
+    }
+}
+
+/// doduc: Monte Carlo nuclear reactor kinetics — small branchy loops with
+/// divides.
+fn doduc() -> Suite {
+    use swp_ir::hir::{HExpr, HStmt, HirLoop};
+    let x = HExpr::load("x", 0, 8);
+    let cond = HirLoop::new(
+        "doduc.branchy",
+        vec![
+            HStmt::let_("s", HExpr::div(x.clone(), HExpr::invariant("d"))),
+            HStmt::if_(
+                HExpr::lt(HExpr::local("s"), HExpr::invariant("lim")),
+                vec![HStmt::let_("r", HExpr::mul(HExpr::local("s"), HExpr::invariant("a")))],
+                vec![HStmt::let_("r", x)],
+            ),
+            HStmt::store("y", 0, 8, HExpr::local("r")),
+        ],
+    )
+    .lower();
+
+    let mut b = LoopBuilder::new("doduc.kinetics");
+    let u = b.array("u", 8);
+    let v = b.array("v", 8);
+    let uv = b.load(u, 0, W);
+    let vv = b.load(v, 0, W);
+    let q = b.fdiv(uv, vv);
+    let r = b.fmadd(q, uv, vv);
+    b.store(u, 0, W, r);
+    let kin = b.finish();
+
+    Suite {
+        name: "doduc",
+        loops: vec![wl("branchy", cond, 0.5, 60), wl("kinetics", kin, 0.5, 80)],
+    }
+}
+
+/// mdljdp2: molecular dynamics (double precision) — the paper's §4.3
+/// describes its hot loop: 95 instructions, only 16 memory references,
+/// with an indirection that makes banks unknowable.
+fn mdljdp2() -> Suite {
+    let mut b = LoopBuilder::new("mdljdp2.force");
+    let idx = b.array("nbr", 8);
+    let pos = b.array("pos", 8);
+    let frc = b.array("frc", 8);
+    let cut = b.invariant_f("cutoff");
+    // 3 coordinate gathers through the neighbor list (indirect).
+    let j = b.load_i(idx, 0, W);
+    let xj = b.load_indirect(pos, j);
+    let xi = b.load(pos, 0, 3 * W);
+    let yi = b.load(pos, W, 3 * W);
+    let zi = b.load(pos, 2 * W, 3 * W);
+    // Large arithmetic body: deltas, r², then three per-coordinate
+    // potential ladders evaluated in parallel (~70 FP ops). Each ladder
+    // consumes only values a round or two old, so lifetimes stay bounded —
+    // the register behaviour real MD force loops have.
+    let dx = b.fsub(xi, xj);
+    let dy = b.fsub(yi, xj);
+    let dz = b.fsub(zi, xj);
+    let r2a = b.fmul(dx, dx);
+    let r2b = b.fmadd(dy, dy, r2a);
+    let r2 = b.fmadd(dz, dz, r2b);
+    let inv = b.fdiv(cut, r2);
+    let mut forces = Vec::new();
+    for &d in &[dx, dy, dz] {
+        let mut a = b.fmul(inv, d);
+        let mut c = b.fmadd(a, a, d);
+        for _ in 0..5 {
+            let t = b.fmadd(a, c, a);
+            let u = b.fmul(t, c);
+            c = b.fadd(u, t);
+            a = b.fmadd(c, u, t);
+        }
+        forces.push(b.fmul(a, c));
+    }
+    let (f1, f2, f3) = (forces[0], forces[1], forces[2]);
+    let fx = b.load(frc, 0, 3 * W);
+    let fy = b.load(frc, W, 3 * W);
+    let fz = b.load(frc, 2 * W, 3 * W);
+    let nfx = b.fadd(fx, f1);
+    let nfy = b.fadd(fy, f2);
+    let nfz = b.fadd(fz, f3);
+    b.store(frc, 0, 3 * W, nfx);
+    b.store(frc, W, 3 * W, nfy);
+    b.store(frc, 2 * W, 3 * W, nfz);
+    let force = b.finish();
+
+    Suite { name: "mdljdp2", loops: vec![wl("force", force, 1.0, 128)] }
+}
+
+/// wave5: plasma simulation — several distinct loops (the paper notes no
+/// single heuristic wins all of them): a particle push (indirect), a field
+/// stencil, and a reduction.
+fn wave5() -> Suite {
+    let mut b = LoopBuilder::new("wave5.push");
+    let ig = b.array("ig", 8);
+    let e = b.array("e", 8);
+    let xp = b.array("xp", 8);
+    let vpar = b.array("vp", 8);
+    let i = b.load_i(ig, 0, W);
+    let ev = b.load_indirect(e, i);
+    let x = b.load(xp, 0, W);
+    let v = b.load(vpar, 0, W);
+    let nv = b.fmadd(ev, v, v);
+    let nx = b.fadd(x, nv);
+    b.store(xp, 0, W, nx);
+    b.store(vpar, 0, W, nv);
+    let push = b.finish();
+
+    let mut b = LoopBuilder::new("wave5.field");
+    let f = b.array("f", 8);
+    let g = b.array("g", 8);
+    let c = b.invariant_f("c");
+    let fm = b.load(f, -W, W);
+    let f0 = b.load(f, 0, W);
+    let fp = b.load(f, W, W);
+    let lap0 = b.fadd(fm, fp);
+    let lap = b.fsub(lap0, f0);
+    let r = b.fmadd(c, lap, f0);
+    b.store(g, 0, W, r);
+    let field = b.finish();
+
+    let mut b = LoopBuilder::new("wave5.energy");
+    let u = b.array("u", 8);
+    let s = b.carried_f("s");
+    let uv = b.load(u, 0, W);
+    let s1 = b.fmadd(uv, uv, s.value());
+    b.close(s, s1, 1);
+    let energy = b.finish();
+
+    Suite {
+        name: "wave5",
+        loops: vec![
+            wl("push", push, 0.4, 500),
+            wl("field", field, 0.4, 400),
+            wl("energy", energy, 0.2, 1000),
+        ],
+    }
+}
+
+/// tomcatv: mesh generation — long-trip-count, memory-bound stencils,
+/// including the "large N3 loop … far beyond the reach of the integrated
+/// formulation" (§3.3). Trip count 300 (§4.5).
+fn tomcatv() -> Suite {
+    // The big N3 body: two 9-point stencils over x and y plus residuals
+    // (~45 ops, 12 memory refs).
+    let mut b = LoopBuilder::new("tomcatv.n3");
+    let row = 513 * W;
+    let x = b.array("x", 8);
+    let y = b.array("y", 8);
+    let rx = b.array("rx", 8);
+    let ry = b.array("ry", 8);
+    let a = b.invariant_f("a");
+    let bb = b.invariant_f("b");
+    let c = b.invariant_f("c");
+    let xw = b.load(x, -W, W);
+    let xe = b.load(x, W, W);
+    let xn = b.load(x, -row, W);
+    let xs = b.load(x, row, W);
+    let x0 = b.load(x, 0, W);
+    let yw = b.load(y, -W, W);
+    let ye = b.load(y, W, W);
+    let yn = b.load(y, -row, W);
+    let ys = b.load(y, row, W);
+    let y0 = b.load(y, 0, W);
+    let dxx0 = b.fadd(xw, xe);
+    let dxx = b.fsub(dxx0, x0);
+    let dxy0 = b.fadd(xn, xs);
+    let dxy = b.fsub(dxy0, x0);
+    let dyx0 = b.fadd(yw, ye);
+    let dyx = b.fsub(dyx0, y0);
+    let dyy0 = b.fadd(yn, ys);
+    let dyy = b.fsub(dyy0, y0);
+    let t1 = b.fmul(a, dxx);
+    let t2 = b.fmadd(bb, dxy, t1);
+    let t3 = b.fmul(dyx, dxy);
+    let t4 = b.fmadd(c, dyy, t3);
+    let pxx = b.fmul(t2, t4);
+    let qxx0 = b.fmul(t2, dyx);
+    let qxx = b.fmadd(t4, dxx, qxx0);
+    let rxv = b.fsub(pxx, x0);
+    let ryv = b.fsub(qxx, y0);
+    b.store(rx, 0, W, rxv);
+    b.store(ry, 0, W, ryv);
+    let n3 = b.finish();
+
+    // The SOR-ish update with a carried dependence.
+    let mut b = LoopBuilder::new("tomcatv.solve");
+    let rxx = b.array("rx", 8);
+    let d = b.array("d", 8);
+    let s = b.carried_f("prev");
+    let rv = b.load(rxx, 0, W);
+    let dv = b.load(d, 0, W);
+    let t = b.fmul(s.value(), dv);
+    let n = b.fsub(rv, t);
+    b.close(s, n, 1);
+    b.store(d, W, W, n);
+    let solve = b.finish();
+
+    Suite {
+        name: "tomcatv",
+        loops: vec![wl("n3", n3, 0.7, 300), wl("solve", solve, 0.3, 300)],
+    }
+}
+
+/// ora: optical ray tracing — sqrt/divide chains, almost no memory.
+fn ora() -> Suite {
+    let mut b = LoopBuilder::new("ora.trace");
+    let q = b.array("q", 8);
+    let a = b.invariant_f("a");
+    let c = b.invariant_f("c");
+    let qv = b.load(q, 0, W);
+    let t1 = b.fmadd(qv, a, c);
+    let s1 = b.fsqrt(t1);
+    let t2 = b.fdiv(qv, s1);
+    let t3 = b.fmadd(t2, t2, a);
+    let s2 = b.fsqrt(t3);
+    let r = b.fadd(s1, s2);
+    b.store(q, 0, W, r);
+    Suite { name: "ora", loops: vec![wl("trace", b.finish(), 1.0, 200)] }
+}
+
+/// alvinn: neural-net training — §4.3: "nearly 100% of its time in two
+/// memory bound loops that process consecutive single precision vector
+/// elements", one of them a single-precision dot product; trips > 1000.
+/// Arrays are even-aligned so natural pairings hit the same bank — the
+/// bank heuristic's showcase.
+fn alvinn() -> Suite {
+    // Dot product over singles, 4x unrolled with interleaved accumulators
+    // (what MIPSpro's recurrence interleaving produces). The body touches
+    // v[i..i+4): v[i] and v[i+1] share a double-word (same bank!), while
+    // v[i] / v[i+2] are the known even-odd pair §4.3 says the bank
+    // heuristic must construct. Memory-bound: 8 refs at II 4.
+    let mut b = LoopBuilder::new("alvinn.dot");
+    let v = b.array("v", 4);
+    let u = b.array("u", 4);
+    let mut last = Vec::new();
+    for k in 0..4i64 {
+        let s = b.carried_f(&format!("s{k}"));
+        let vk = b.load(v, k * S, 4 * S);
+        let uk = b.load(u, k * S, 4 * S);
+        let m = b.fmadd(vk, uk, s.value());
+        b.close(s, m, 1);
+        last.push(m);
+    }
+    let dot = b.finish();
+
+    // Weight update: 12 references per iteration (memory bound at II 6).
+    let mut b = LoopBuilder::new("alvinn.update");
+    let w = b.array("w", 4);
+    let g = b.array("g", 4);
+    let eta = b.invariant_f("eta");
+    for k in 0..4i64 {
+        let wk = b.load(w, k * S, 4 * S);
+        let gk = b.load(g, k * S, 4 * S);
+        let n = b.fmadd(eta, gk, wk);
+        b.store(w, k * S, 4 * S, n);
+    }
+    let update = b.finish();
+
+    Suite {
+        name: "alvinn",
+        loops: vec![wl("dot", dot, 0.55, 1280), wl("update", update, 0.45, 1280)],
+    }
+}
+
+/// ear: human-ear model — single-precision filter cascades (madd chains
+/// with a short recurrence).
+fn ear() -> Suite {
+    let mut b = LoopBuilder::new("ear.filter");
+    let x = b.array("x", 4);
+    let y = b.array("y", 4);
+    let b0 = b.invariant_f("b0");
+    let b1 = b.invariant_f("b1");
+    let a1 = b.invariant_f("a1");
+    let s = b.carried_f("state");
+    let xv = b.load(x, 0, S);
+    let t0 = b.fmul(b0, xv);
+    let t1 = b.fmadd(a1, s.value(), t0);
+    let st = b.fmadd(b1, xv, t1);
+    b.close(s, st, 1);
+    b.store(y, 0, S, t1);
+    let filt = b.finish();
+
+    let mut b = LoopBuilder::new("ear.energy");
+    let z = b.array("z", 4);
+    let o = b.array("o", 4);
+    let zv = b.load(z, 0, S);
+    let e = b.fmul(zv, zv);
+    b.store(o, 0, S, e);
+    let energy = b.finish();
+
+    Suite {
+        name: "ear",
+        loops: vec![wl("filter", filt, 0.7, 700), wl("energy", energy, 0.3, 700)],
+    }
+}
+
+/// mdljsp2: mdljdp2's single-precision sibling — same force-loop shape,
+/// single-precision arrays.
+fn mdljsp2() -> Suite {
+    let mut b = LoopBuilder::new("mdljsp2.force");
+    let idx = b.array("nbr", 8);
+    let pos = b.array("pos", 4);
+    let frc = b.array("frc", 4);
+    let cut = b.invariant_f("cutoff");
+    let j = b.load_i(idx, 0, W);
+    let xj = b.load_indirect(pos, j);
+    let xi = b.load(pos, 0, 3 * S);
+    let yi = b.load(pos, S, 3 * S);
+    let zi = b.load(pos, 2 * S, 3 * S);
+    let dx = b.fsub(xi, xj);
+    let dy = b.fsub(yi, xj);
+    let dz = b.fsub(zi, xj);
+    let r2a = b.fmul(dx, dx);
+    let r2b = b.fmadd(dy, dy, r2a);
+    let r2 = b.fmadd(dz, dz, r2b);
+    let inv = b.fdiv(cut, r2);
+    let mut acc = b.fmul(inv, dx);
+    let mut c = b.fmadd(acc, acc, dy);
+    for _ in 0..6 {
+        let t = b.fmadd(acc, c, acc);
+        c = b.fmul(t, c);
+        acc = b.fmadd(c, t, t);
+    }
+    let f1 = b.fmul(acc, c);
+    let fx = b.load(frc, 0, 3 * S);
+    let nfx = b.fadd(fx, f1);
+    b.store(frc, 0, 3 * S, nfx);
+    Suite { name: "mdljsp2", loops: vec![wl("force", b.finish(), 1.0, 128)] }
+}
+
+/// swm256: shallow water — wide, fully parallel stencil updates over many
+/// arrays, long trips (256² grid), memory bound.
+fn swm256() -> Suite {
+    let mut b = LoopBuilder::new("swm256.calc1");
+    let row = 257 * W;
+    let u = b.array("u", 8);
+    let v = b.array("v", 8);
+    let p = b.array("p", 8);
+    let cu = b.array("cu", 8);
+    let cv = b.array("cv", 8);
+    let z = b.array("z", 8);
+    let h = b.array("h", 8);
+    let fsdx = b.invariant_f("fsdx");
+    let u0 = b.load(u, 0, W);
+    let um = b.load(u, -W, W);
+    let v0 = b.load(v, 0, W);
+    let vn = b.load(v, -row, W);
+    let p0 = b.load(p, 0, W);
+    let pe = b.load(p, W, W);
+    let pn = b.load(p, row, W);
+    let pp = b.fadd(p0, pe);
+    let cuv = b.fmul(pp, u0);
+    b.store(cu, 0, W, cuv);
+    let pq = b.fadd(p0, pn);
+    let cvv = b.fmul(pq, v0);
+    b.store(cv, 0, W, cvv);
+    let du = b.fsub(u0, um);
+    let dv = b.fsub(v0, vn);
+    let vort0 = b.fadd(du, dv);
+    let vort = b.fmul(fsdx, vort0);
+    let den0 = b.fadd(pp, pq);
+    let zv = b.fdiv(vort, den0);
+    b.store(z, 0, W, zv);
+    let u2 = b.fmul(u0, u0);
+    let v2 = b.fmul(v0, v0);
+    let ke0 = b.fadd(u2, v2);
+    let hv = b.fmadd(ke0, fsdx, p0);
+    b.store(h, 0, W, hv);
+    Suite { name: "swm256", loops: vec![wl("calc1", b.finish(), 1.0, 256)] }
+}
+
+/// su2cor: quantum chromodynamics — complex-arithmetic madd pairs (each
+/// complex multiply = 4 mul + 2 add shapes).
+fn su2cor() -> Suite {
+    let mut b = LoopBuilder::new("su2cor.cmul");
+    let a = b.array("a", 8);
+    let c = b.array("c", 8);
+    let ar = b.load(a, 0, 2 * W);
+    let ai = b.load(a, W, 2 * W);
+    let br2 = b.load(c, 0, 2 * W);
+    let bi = b.load(c, W, 2 * W);
+    let rr0 = b.fmul(ar, br2);
+    let ii = b.fmul(ai, bi);
+    let rr = b.fsub(rr0, ii);
+    let ri0 = b.fmul(ar, bi);
+    let ri = b.fmadd(ai, br2, ri0);
+    b.store(c, 0, 2 * W, rr);
+    b.store(c, W, 2 * W, ri);
+    let cmul = b.finish();
+
+    let mut b = LoopBuilder::new("su2cor.gather");
+    let idx = b.array("map", 8);
+    let fld = b.array("fld", 8);
+    let out = b.array("out", 8);
+    let i = b.load_i(idx, 0, W);
+    let f = b.load_indirect(fld, i);
+    let g = b.load(out, 0, W);
+    let sum = b.fadd(f, g);
+    b.store(out, 0, W, sum);
+    let gather = b.finish();
+
+    Suite {
+        name: "su2cor",
+        loops: vec![wl("cmul", cmul, 0.7, 512), wl("gather", gather, 0.3, 256)],
+    }
+}
+
+/// hydro2d: Navier-Stokes hydrodynamics — k18-like stencils, long trips.
+fn hydro2d() -> Suite {
+    let mut b = LoopBuilder::new("hydro2d.flux");
+    let row = 402 * W;
+    let ro = b.array("ro", 8);
+    let en = b.array("en", 8);
+    let fx = b.array("fx", 8);
+    let gam = b.invariant_f("gam");
+    let r0 = b.load(ro, 0, W);
+    let re = b.load(ro, W, W);
+    let rn = b.load(ro, row, W);
+    let e0 = b.load(en, 0, W);
+    let ee = b.load(en, W, W);
+    let avg0 = b.fadd(r0, re);
+    let avg1 = b.fadd(avg0, rn);
+    let p0 = b.fmul(gam, e0);
+    let pe = b.fmul(gam, ee);
+    let dp = b.fsub(pe, p0);
+    let f = b.fmadd(avg1, dp, p0);
+    b.store(fx, 0, W, f);
+    Suite { name: "hydro2d", loops: vec![wl("flux", b.finish(), 1.0, 400)] }
+}
+
+/// nasa7: the seven NASA kernels — represented by its matmul inner loop
+/// and an FFT butterfly.
+fn nasa7() -> Suite {
+    let mut b = LoopBuilder::new("nasa7.mxm");
+    let a = b.array("a", 8);
+    let bq = b.array("b", 8);
+    let s = b.carried_f("c");
+    let av = b.load(a, 0, W);
+    let bv = b.load(bq, 0, 64 * W);
+    let s1 = b.fmadd(av, bv, s.value());
+    b.close(s, s1, 1);
+    let mxm = b.finish();
+
+    let mut b = LoopBuilder::new("nasa7.fft");
+    let re = b.array("re", 8);
+    let im = b.array("im", 8);
+    let wr = b.invariant_f("wr");
+    let wi = b.invariant_f("wi");
+    let xr = b.load(re, 0, 2 * W);
+    let xi = b.load(im, 0, 2 * W);
+    let yr = b.load(re, W, 2 * W);
+    let yi = b.load(im, W, 2 * W);
+    let tr0 = b.fmul(wr, yr);
+    let tr = b.fmadd(wi, yi, tr0);
+    let ti0 = b.fmul(wr, yi);
+    let ti = b.fsub(ti0, tr0);
+    let or1 = b.fadd(xr, tr);
+    let oi1 = b.fadd(xi, ti);
+    let or2 = b.fsub(xr, tr);
+    let oi2 = b.fsub(xi, ti);
+    b.store(re, 0, 2 * W, or1);
+    b.store(im, 0, 2 * W, oi1);
+    b.store(re, W, 2 * W, or2);
+    b.store(im, W, 2 * W, oi2);
+    let fft = b.finish();
+
+    Suite {
+        name: "nasa7",
+        loops: vec![wl("mxm", mxm, 0.6, 64), wl("fft", fft, 0.4, 256)],
+    }
+}
+
+/// fpppp: quantum chemistry two-electron integrals — one enormous
+/// straight-line FP body with few memory references (~90 ops).
+fn fpppp() -> Suite {
+    let mut b = LoopBuilder::new("fpppp.fock");
+    let xij = b.array("xij", 8);
+    let out = b.array("out", 8);
+    let c1 = b.invariant_f("c1");
+    let c2 = b.invariant_f("c2");
+    let v0 = b.load(xij, 0, 4 * W);
+    let v1 = b.load(xij, W, 4 * W);
+    let v2 = b.load(xij, 2 * W, 4 * W);
+    let v3 = b.load(xij, 3 * W, 4 * W);
+    let mut a = b.fmul(v0, v1);
+    let mut c = b.fmadd(v2, v3, a);
+    for i in 0..20 {
+        let t1 = b.fmadd(a, c1, c);
+        let t2 = b.fmul(c, c2);
+        let t3 = b.fadd(t1, t2);
+        let t4 = b.fmadd(t3, if i % 2 == 0 { v0 } else { v2 }, a);
+        a = b.fmul(t3, t4);
+        c = b.fadd(t4, c);
+    }
+    let r = b.fadd(a, c);
+    b.store(out, 0, W, r);
+    Suite { name: "fpppp", loops: vec![wl("fock", b.finish(), 1.0, 96)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_machine::Machine;
+
+    #[test]
+    fn fourteen_suites_with_valid_loops() {
+        let suites = spec_suites();
+        assert_eq!(suites.len(), 14);
+        for s in &suites {
+            assert!(!s.loops.is_empty(), "{}", s.name);
+            let total: f64 = s.loops.iter().map(|l| l.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{} weights sum to {total}", s.name);
+            for l in &s.loops {
+                assert_eq!(l.body.validate(), Ok(()), "{}::{}", s.name, l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mdljdp2_shape_matches_the_paper() {
+        // §4.3: "it has only 16 memory references out of 95 instructions"
+        // and indirection. We demand the same flavor: big body, sparse
+        // memory, at least one indirect ref.
+        let s = spec_suites().into_iter().find(|s| s.name == "mdljdp2").expect("present");
+        let body = &s.loops[0].body;
+        let mem = body.mem_ops().count();
+        assert!(body.len() >= 80, "body has {} ops", body.len());
+        assert!(mem <= body.len() / 5, "{mem} memory refs of {}", body.len());
+        assert!(body.mem_ops().any(|o| o.mem.is_some_and(|m| m.indirect)));
+    }
+
+    #[test]
+    fn alvinn_is_memory_bound_single_precision() {
+        let s = spec_suites().into_iter().find(|s| s.name == "alvinn").expect("present");
+        for l in &s.loops {
+            let mem = l.body.mem_ops().count();
+            assert!(mem * 2 >= l.body.len(), "{} is memory bound", l.name);
+            assert!(l.trip >= 1000, "long trip counts");
+            for a in l.body.arrays() {
+                assert_eq!(a.elem_bytes, 4, "single precision");
+            }
+        }
+    }
+
+    #[test]
+    fn every_suite_loop_pipelines() {
+        let m = Machine::r8000();
+        for s in spec_suites() {
+            for l in &s.loops {
+                let r = swp_heur::pipeline(&l.body, &m, &swp_heur::HeurOptions::default());
+                assert!(r.is_ok(), "{}::{} failed: {:?}", s.name, l.name, r.err());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_time_weights_correctly() {
+        let s = spec_suites().into_iter().find(|s| s.name == "alvinn").expect("present");
+        let t = s.aggregate_time(&[1280.0, 1280.0]);
+        assert!((t - 1.0).abs() < 1e-9, "1 cycle per element → 1.0, got {t}");
+    }
+}

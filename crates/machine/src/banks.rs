@@ -1,0 +1,218 @@
+//! The R8000's two-banked streaming cache and its *bellows* queue.
+//!
+//! §2.9 of the paper: the second-level cache is divided into two banks of
+//! double-words (even and odd addresses). Two references in one cycle to
+//! opposite banks are both serviced immediately; two to the same bank put
+//! one into a one-element queue (the bellows); if the bellows is already
+//! full the processor stalls.
+
+use std::fmt;
+
+/// Which memory bank a double-word address falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bank {
+    /// Even double-word addresses (bit 3 of the byte address clear).
+    Even,
+    /// Odd double-word addresses (bit 3 of the byte address set).
+    Odd,
+}
+
+impl Bank {
+    /// The opposite bank.
+    pub fn other(self) -> Bank {
+        match self {
+            Bank::Even => Bank::Odd,
+            Bank::Odd => Bank::Even,
+        }
+    }
+}
+
+impl fmt::Display for Bank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Bank::Even => "even",
+            Bank::Odd => "odd",
+        })
+    }
+}
+
+/// Geometry of the banked memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankModel {
+    /// log2 of the bank interleave granule in bytes (3 = double-word).
+    granule_log2: u32,
+}
+
+impl BankModel {
+    /// The R8000 geometry: double-word (8-byte) interleave.
+    pub fn r8000() -> BankModel {
+        BankModel { granule_log2: 3 }
+    }
+
+    /// Bank of a byte address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use swp_machine::{Bank, BankModel};
+    /// let m = BankModel::r8000();
+    /// assert_eq!(m.bank_of(0), Bank::Even);
+    /// assert_eq!(m.bank_of(8), Bank::Odd);
+    /// assert_eq!(m.bank_of(16), Bank::Even);
+    /// ```
+    pub fn bank_of(&self, addr: u64) -> Bank {
+        if (addr >> self.granule_log2) & 1 == 0 {
+            Bank::Even
+        } else {
+            Bank::Odd
+        }
+    }
+
+    /// Interleave granule in bytes (8 on the R8000).
+    pub fn granule(&self) -> u64 {
+        1 << self.granule_log2
+    }
+}
+
+impl Default for BankModel {
+    fn default() -> BankModel {
+        BankModel::r8000()
+    }
+}
+
+/// Dynamic state of the one-element bellows queue.
+///
+/// Drive it one cycle at a time with the set of banks referenced that cycle;
+/// it reports how many stall cycles the reference pattern induces. This is
+/// the exact model the simulator uses, exposed here so schedulers and tests
+/// can evaluate candidate reference patterns cheaply.
+///
+/// # Examples
+///
+/// ```
+/// use swp_machine::{Bank, Bellows};
+/// let mut b = Bellows::new();
+/// // Same-bank pair: absorbed by the bellows, no stall yet.
+/// assert_eq!(b.cycle(&[Bank::Even, Bank::Even]), 0);
+/// // Another same-bank pair while the bellows is full: one stall cycle.
+/// assert_eq!(b.cycle(&[Bank::Even, Bank::Even]), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bellows {
+    queued: Option<Bank>,
+}
+
+impl Bellows {
+    /// A bellows with an empty queue.
+    pub fn new() -> Bellows {
+        Bellows::default()
+    }
+
+    /// Whether a reference is waiting in the queue.
+    pub fn is_occupied(&self) -> bool {
+        self.queued.is_some()
+    }
+
+    /// Advance one cycle in which `refs` banks are referenced (at most two
+    /// on the R8000, but the model accepts any number for wider machines).
+    /// Returns the number of stall cycles incurred before the cycle's
+    /// references are accepted.
+    ///
+    /// Per-cycle service model: each bank can service one reference per
+    /// cycle; the queued reference (if any) is serviced first on its bank;
+    /// one overflow reference can be queued; further overflow stalls one
+    /// cycle per reference (during which banks drain).
+    pub fn cycle(&mut self, refs: &[Bank]) -> u32 {
+        let mut even: u32 = refs.iter().filter(|b| **b == Bank::Even).count() as u32;
+        let mut odd: u32 = refs.iter().filter(|b| **b == Bank::Odd).count() as u32;
+        let mut stalls = 0;
+
+        // The queued reference consumes its bank's service slot this cycle.
+        let mut even_cap = 1u32;
+        let mut odd_cap = 1u32;
+        if let Some(q) = self.queued.take() {
+            match q {
+                Bank::Even => even_cap = 0,
+                Bank::Odd => odd_cap = 0,
+            }
+        }
+
+        loop {
+            let served_even = even.min(even_cap);
+            let served_odd = odd.min(odd_cap);
+            even -= served_even;
+            odd -= served_odd;
+            let overflow = even + odd;
+            if overflow == 0 {
+                break;
+            }
+            if overflow == 1 {
+                // One leftover reference fits in the bellows.
+                self.queued = Some(if even == 1 { Bank::Even } else { Bank::Odd });
+                break;
+            }
+            // More than one leftover: stall a cycle; both banks free up.
+            stalls += 1;
+            even_cap = 1;
+            odd_cap = 1;
+        }
+        stalls
+    }
+
+    /// Reset the queue (e.g. at a loop boundary in analytical models).
+    pub fn reset(&mut self) {
+        self.queued = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_banks_never_stall() {
+        let mut b = Bellows::new();
+        for _ in 0..100 {
+            assert_eq!(b.cycle(&[Bank::Even, Bank::Odd]), 0);
+            assert!(!b.is_occupied());
+        }
+    }
+
+    #[test]
+    fn worst_case_half_speed() {
+        // Two same-bank refs every cycle: after the bellows fills, one stall
+        // per cycle (the paper's "ends up running at half speed").
+        let mut b = Bellows::new();
+        let mut stalls = 0;
+        for _ in 0..101 {
+            stalls += b.cycle(&[Bank::Even, Bank::Even]);
+        }
+        assert_eq!(stalls, 100);
+    }
+
+    #[test]
+    fn single_reference_stream_never_stalls() {
+        let mut b = Bellows::new();
+        for i in 0..100u64 {
+            let bank = BankModel::r8000().bank_of(i * 8);
+            assert_eq!(b.cycle(&[bank]), 0);
+        }
+    }
+
+    #[test]
+    fn queued_reference_drains_in_idle_cycle() {
+        let mut b = Bellows::new();
+        assert_eq!(b.cycle(&[Bank::Even, Bank::Even]), 0);
+        assert!(b.is_occupied());
+        assert_eq!(b.cycle(&[]), 0);
+        assert!(!b.is_occupied());
+    }
+
+    #[test]
+    fn bank_of_alternates_by_doubleword() {
+        let m = BankModel::r8000();
+        assert_eq!(m.granule(), 8);
+        assert_eq!(m.bank_of(0), m.bank_of(4)); // same double-word
+        assert_ne!(m.bank_of(0), m.bank_of(8));
+    }
+}

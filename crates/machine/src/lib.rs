@@ -1,0 +1,51 @@
+//! R8000-like machine model for the Software Pipelining Showdown reproduction.
+//!
+//! The paper targets the MIPS R8000 ("TFP", \[Hsu94\]): an in-order 4-issue
+//! superscalar with fully pipelined floating-point and memory operations and
+//! a two-banked second-level cache. This crate captures the *architectural
+//! parameters the paper's effects depend on*:
+//!
+//! - issue width and per-class functional unit counts,
+//! - operation latencies and reservation tables (including unpipelined
+//!   divide, which the paper calls out as hard to schedule),
+//! - register file sizes per class,
+//! - the even/odd double-word memory-bank geometry and the one-entry
+//!   *bellows* queue.
+//!
+//! # Examples
+//!
+//! ```
+//! use swp_machine::{Machine, OpClass, ResourceClass};
+//!
+//! let m = Machine::r8000();
+//! assert_eq!(m.issue_width(), 4);
+//! assert_eq!(m.latency(OpClass::FAdd), 4);
+//! assert_eq!(m.units(ResourceClass::Memory), 2);
+//! ```
+
+mod banks;
+mod machine;
+mod ops;
+mod regs;
+
+pub use banks::{Bank, BankModel, Bellows};
+pub use machine::{Machine, MachineBuilder, ResourceClass, Reservation};
+pub use ops::OpClass;
+pub use regs::{RegClass, RegFile};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r8000_is_four_issue() {
+        assert_eq!(Machine::r8000().issue_width(), 4);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Machine>();
+        assert_send_sync::<BankModel>();
+    }
+}

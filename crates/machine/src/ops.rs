@@ -1,0 +1,139 @@
+//! Operation classes understood by the machine model.
+
+use std::fmt;
+
+/// Architectural class of an operation.
+///
+/// The loop IR maps its richer opcode set onto these classes; the machine
+/// model assigns each class a latency and a reservation table. The split
+/// mirrors how the MIPSpro scheduler only cares about resource usage and
+/// latency, not the semantic identity of an operation.
+///
+/// # Examples
+///
+/// ```
+/// use swp_machine::OpClass;
+/// assert!(OpClass::FDiv.is_float());
+/// assert!(OpClass::Load.is_memory());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Floating-point or integer load (memory pipe).
+    Load,
+    /// Store (memory pipe, produces no register result).
+    Store,
+    /// Floating-point add/subtract (fully pipelined).
+    FAdd,
+    /// Floating-point multiply (fully pipelined).
+    FMul,
+    /// Fused multiply-add (fully pipelined; the R8000's signature op).
+    FMadd,
+    /// Floating-point divide (unpipelined: blocks its unit for several
+    /// cycles — the paper's "operations that are not fully pipelined").
+    FDiv,
+    /// Floating-point square root (unpipelined, like divide).
+    FSqrt,
+    /// Floating-point compare (sets a condition value).
+    FCmp,
+    /// Conditional move, the target of if-conversion (§2.1 of the paper).
+    CMov,
+    /// Integer ALU operation (adds, address arithmetic, shifts).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Register-to-register copy (either class).
+    Copy,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::FAdd,
+        OpClass::FMul,
+        OpClass::FMadd,
+        OpClass::FDiv,
+        OpClass::FSqrt,
+        OpClass::FCmp,
+        OpClass::CMov,
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::Copy,
+    ];
+
+    /// Whether this class executes on a memory pipe.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this class executes on a floating-point pipe.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            OpClass::FAdd
+                | OpClass::FMul
+                | OpClass::FMadd
+                | OpClass::FDiv
+                | OpClass::FSqrt
+                | OpClass::FCmp
+                | OpClass::CMov
+        )
+    }
+
+    /// Whether this class executes on an integer pipe.
+    pub fn is_integer(self) -> bool {
+        matches!(self, OpClass::IntAlu | OpClass::IntMul | OpClass::Copy)
+    }
+
+    /// Whether the op produces a register result.
+    pub fn has_result(self) -> bool {
+        !matches!(self, OpClass::Store)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::FAdd => "fadd",
+            OpClass::FMul => "fmul",
+            OpClass::FMadd => "fmadd",
+            OpClass::FDiv => "fdiv",
+            OpClass::FSqrt => "fsqrt",
+            OpClass::FCmp => "fcmp",
+            OpClass::CMov => "cmov",
+            OpClass::IntAlu => "ialu",
+            OpClass::IntMul => "imul",
+            OpClass::Copy => "copy",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition() {
+        for c in OpClass::ALL {
+            let n = usize::from(c.is_memory()) + usize::from(c.is_float()) + usize::from(c.is_integer());
+            assert_eq!(n, 1, "{c} must belong to exactly one pipe class");
+        }
+    }
+
+    #[test]
+    fn stores_have_no_result() {
+        assert!(!OpClass::Store.has_result());
+        assert!(OpClass::Load.has_result());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for c in OpClass::ALL {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Register classes and register files.
+
+use std::fmt;
+
+/// Architectural register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Floating-point registers (`$f0..$f31` on the R8000).
+    Float,
+    /// Integer registers (`$0..$31`; several reserved by the ABI).
+    Int,
+}
+
+impl RegClass {
+    /// Both register classes.
+    pub const ALL: [RegClass; 2] = [RegClass::Float, RegClass::Int];
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RegClass::Float => "fp",
+            RegClass::Int => "int",
+        })
+    }
+}
+
+/// A register file: total architectural registers and how many the register
+/// allocator may use for loop values (the rest are reserved for the ABI,
+/// loop control, and spill addressing, as in the MIPSpro compiler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegFile {
+    class: RegClass,
+    total: u32,
+    allocatable: u32,
+}
+
+impl RegFile {
+    /// Create a register file description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allocatable > total`.
+    pub fn new(class: RegClass, total: u32, allocatable: u32) -> RegFile {
+        assert!(allocatable <= total, "allocatable registers exceed file size");
+        RegFile { class, total, allocatable }
+    }
+
+    /// The class this file holds.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Total architectural registers.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Registers available to the allocator.
+    pub fn allocatable(&self) -> u32 {
+        self.allocatable
+    }
+}
+
+impl fmt::Display for RegFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} of {}]", self.class, self.allocatable, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regfile_invariant() {
+        let f = RegFile::new(RegClass::Float, 32, 31);
+        assert_eq!(f.allocatable(), 31);
+        assert_eq!(f.total(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocatable")]
+    fn regfile_rejects_bad_counts() {
+        let _ = RegFile::new(RegClass::Int, 8, 9);
+    }
+}

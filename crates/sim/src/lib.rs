@@ -1,0 +1,51 @@
+//! Cycle-accurate simulation of the R8000-like machine, plus a functional
+//! interpreter for correctness cross-checks.
+//!
+//! The only dynamic effect the paper's comparisons hinge on is the banked
+//! memory system (§2.9, §4.5): statically scheduled code never stalls on an
+//! in-order machine *except* when two same-cycle references hit the same
+//! cache bank and overflow the one-entry bellows queue. [`simulate`] models
+//! exactly that, cycle by cycle, for both pipelined and baseline loops.
+//!
+//! [`interp`] executes loops *functionally* — sequentially, or in pipelined
+//! issue order — so tests can verify that scheduling, register allocation,
+//! spilling, unrolling, and if-conversion preserve semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use swp_heur::{pipeline, HeurOptions};
+//! use swp_ir::LoopBuilder;
+//! use swp_machine::Machine;
+//! use swp_codegen::PipelinedLoop;
+//! use swp_sim::simulate;
+//!
+//! let m = Machine::r8000();
+//! let mut b = LoopBuilder::new("scale");
+//! let a = b.invariant_f("a");
+//! let x = b.array("x", 8);
+//! let v = b.load(x, 0, 8);
+//! let w = b.fmul(a, v);
+//! b.store(x, 0, 8, w);
+//! let lp = b.finish();
+//! let p = pipeline(&lp, &m, &HeurOptions::default())?;
+//! let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
+//! let r = simulate(&code, 100, &m);
+//! assert_eq!(r.iterations, 100);
+//! assert!(r.cycles >= code.static_cycles(100));
+//! # Ok::<(), swp_heur::PipelineError>(())
+//! ```
+
+pub mod interp;
+mod run;
+
+pub use run::{simulate, simulate_baseline, SimResult};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::SimResult>();
+    }
+}

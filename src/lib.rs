@@ -1,0 +1,2 @@
+//! Root workspace package: see the `showdown` crate for the library API.
+pub use showdown::*;
