@@ -1,0 +1,190 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the macro/API surface its benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`], and [`criterion_main!`].
+//!
+//! Instead of statistical sampling, each benchmark runs a warmup
+//! iteration plus `sample_size` timed iterations and prints the mean and
+//! min wall-clock per iteration — enough to eyeball regressions offline.
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), every benchmark runs exactly one iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; this harness has no time budget.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_owned(),
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<N: Into<String>, F>(&mut self, name: N, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, None, &name.into(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<N: Into<String>, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.group.clone();
+        run_bench(self.criterion, Some(&group), &name.into(), f);
+        self
+    }
+
+    /// Override the sample size for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Close the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per configured iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let _warmup = black_box(routine());
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &mut Criterion, group: Option<&str>, name: &str, mut f: F) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+    let iters = if c.test_mode { 1 } else { c.sample_size };
+    let mut b = Bencher {
+        samples: Vec::with_capacity(iters),
+        iters,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {label}: no samples (routine never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().expect("non-empty");
+    println!(
+        "bench {label}: mean {mean:?}, min {min:?} over {} iters",
+        b.samples.len()
+    );
+}
+
+/// Declare a group function invoking each target with a configured
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = false;
+        let mut calls = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion::default().sample_size(50);
+        c.test_mode = true;
+        let mut calls = 0usize;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 2); // warmup + 1 sample
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the *minimal* `rand` surface it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] / [`Rng::gen_bool`]. The generator is SplitMix64 —
+//! deterministic in the seed, which is all the kernel generator and the
+//! property tests require. The streams differ from upstream `rand`'s
+//! `StdRng` (ChaCha12), so seeds produce different loops than a
+//! crates.io build would; every consumer in this repo only relies on
+//! *within-repo* determinism, never on specific upstream streams.
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    pub(crate) fn next_u64_impl(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, one
+        // add + three xor-shift-multiplies per output.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seedable generators (the only constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Pre-scramble so that small consecutive seeds do not yield
+        // correlated first outputs.
+        let mut rng = StdRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        };
+        let _ = rng.next_u64_impl();
+        StdRng { state: rng.state }
+    }
+}
+
+/// A type that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized + Copy {
+    /// Draw uniformly from `[lo, hi)` given a 64-bit random word source.
+    fn sample_range(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {
+        $(impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, draw: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                // Multiply-shift bounded draw; the modulo bias over a
+                // 64-bit source is immaterial for test workloads.
+                let r = draw() % span;
+                ((lo as $wide).wrapping_add(r as $wide)) as $t
+            }
+        })+
+    };
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: f64, hi: f64, draw: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(lo < hi, "gen_range called with empty range");
+        let unit = (draw() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+}
+
+/// A range argument to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from this range.
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T {
+        T::sample_range(self.start, self.end, draw)
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u: usize = rng.gen_range(0..7);
+            assert!(u < 7);
+            let i: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

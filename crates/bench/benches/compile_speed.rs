@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     let lp = saxpyish.loops[0].body.clone();
     let mut g = c.benchmark_group("compile_speed");
     g.bench_function("heuristic", |b| {
-        b.iter(|| swp_heur::pipeline(&lp, &m, &HeurOptions::default()).expect("ok").ii())
+        b.iter(|| {
+            swp_heur::pipeline(&lp, &m, &HeurOptions::default())
+                .expect("ok")
+                .ii()
+        })
     });
     let most = MostOptions {
         node_limit: 50_000,

@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
         .expect("alvinn exists");
     let mut g = c.benchmark_group("fig2");
     g.bench_function("alvinn_pipelined", |b| {
-        b.iter(|| run_suite(&suite, &m, &SchedulerChoice::Heuristic).expect("pipelines").time)
+        b.iter(|| {
+            run_suite(&suite, &m, &SchedulerChoice::Heuristic)
+                .expect("pipelines")
+                .time
+        })
     });
     g.bench_function("alvinn_baseline", |b| {
         b.iter(|| run_suite_baseline(&suite, &m).time)

@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let kernels = swp_kernels::livermore();
     let mut g = c.benchmark_group("fig3");
     for h in PriorityHeuristic::ALL {
-        let opts = HeurOptions { heuristics: vec![h], ..HeurOptions::default() };
+        let opts = HeurOptions {
+            heuristics: vec![h],
+            ..HeurOptions::default()
+        };
         g.bench_function(format!("livermore_{h}"), |b| {
             b.iter(|| {
                 kernels

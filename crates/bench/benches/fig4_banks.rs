@@ -14,12 +14,22 @@ fn bench(c: &mut Criterion) {
         .expect("alvinn exists");
     let mut g = c.benchmark_group("fig4");
     g.bench_function("banks_on", |b| {
-        b.iter(|| run_suite(&suite, &m, &SchedulerChoice::Heuristic).expect("ok").time)
+        b.iter(|| {
+            run_suite(&suite, &m, &SchedulerChoice::Heuristic)
+                .expect("ok")
+                .time
+        })
     });
-    let off = HeurOptions { bank_pairing: false, explore_stalls: false, ..HeurOptions::default() };
+    let off = HeurOptions {
+        bank_pairing: false,
+        explore_stalls: false,
+        ..HeurOptions::default()
+    };
     g.bench_function("banks_off", |b| {
         b.iter(|| {
-            run_suite(&suite, &m, &SchedulerChoice::HeuristicWith(off.clone())).expect("ok").time
+            run_suite(&suite, &m, &SchedulerChoice::HeuristicWith(off.clone()))
+                .expect("ok")
+                .time
         })
     });
     g.finish();

@@ -10,10 +10,17 @@ use swp_most::MostOptions;
 
 fn bench(c: &mut Criterion) {
     let m = Machine::r8000();
-    let k3 = swp_kernels::livermore().into_iter().find(|k| k.number == 3).expect("k3");
+    let k3 = swp_kernels::livermore()
+        .into_iter()
+        .find(|k| k.number == 3)
+        .expect("k3");
     let mut g = c.benchmark_group("fig5");
     g.bench_function("heuristic_k3", |b| {
-        b.iter(|| swp_heur::pipeline(&k3.body, &m, &HeurOptions::default()).expect("ok").ii())
+        b.iter(|| {
+            swp_heur::pipeline(&k3.body, &m, &HeurOptions::default())
+                .expect("ok")
+                .ii()
+        })
     });
     let most = MostOptions {
         node_limit: 20_000,
@@ -22,7 +29,11 @@ fn bench(c: &mut Criterion) {
         ..MostOptions::default()
     };
     g.bench_function("most_k3", |b| {
-        b.iter(|| swp_most::pipeline_most(&k3.body, &m, &most).expect("ok").ii())
+        b.iter(|| {
+            swp_most::pipeline_most(&k3.body, &m, &most)
+                .expect("ok")
+                .ii()
+        })
     });
     g.finish();
 }

@@ -2,38 +2,82 @@
 //!
 //! ```text
 //! cargo run -p swp-bench --release --bin experiments -- all
-//! cargo run -p swp-bench --release --bin experiments -- fig2 [--full]
+//! cargo run -p swp-bench --release --bin experiments -- fig2 [--full] [--threads N]
+//! cargo run -p swp-bench --release --bin experiments -- speedup --threads 4
 //! ```
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
-//! ii-compare ablation-order ablation-iisearch ablation-spill all`.
+//! ii-compare ablation-order ablation-iisearch ablation-spill speedup all`.
+//!
+//! Result figures run on a shared parallel [`Driver`] (`--threads N`,
+//! default: all cores) whose schedule cache carries compiles across
+//! figures; each figure reports the cache hits/misses it contributed.
+//! The compile-*time* tables (`compile-speed`, `loop-size`) always
+//! compile from scratch — caching a stopwatch would fake the result.
+//! `speedup` measures the whole pipeline both ways and prints the
+//! sequential and parallel wall-clocks side by side.
 
+use showdown::Driver;
 use swp_bench::{
-    ablation_ii_search, ablation_order, ablation_spill, compile_speed, fig2, fig2_geomean, fig3,
-    fig4, fig5, fig6_fig7, ii_compare, loop_size, Effort,
+    ablation_ii_search, ablation_order, ablation_spill, compile_speed, driver_speedup,
+    fig2_geomean, fig2_with, fig3_with, fig4_with, fig5_with, fig6_fig7_with, ii_compare_with,
+    loop_size, Effort,
 };
 use swp_heur::PriorityHeuristic;
 use swp_machine::Machine;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let effort = if args.iter().any(|a| a == "--full") { Effort::Full } else { Effort::Quick };
+    let effort = if args.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let m = Machine::r8000();
+    let driver = Driver::new(threads);
 
     let run = |name: &str| cmd == "all" || cmd == name;
+    let report_cache = |driver: &Driver, before: showdown::CacheStats| {
+        let after = driver.cache_stats();
+        let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+        let total = hits + misses;
+        println!(
+            "[cache] {hits} hits / {misses} misses ({:.0}% hit rate)\n",
+            100.0 * hits as f64 / (total.max(1)) as f64
+        );
+    };
 
     if run("fig2") {
         println!("== Figure 2: SPEC92fp-like suites, pipelining enabled vs disabled ==");
-        println!("{:<12} {:>12} {:>12} {:>9}", "benchmark", "base(time)", "pipe(time)", "speedup");
-        let rows = fig2(&m, effort);
+        println!(
+            "{:<12} {:>12} {:>12} {:>9}",
+            "benchmark", "base(time)", "pipe(time)", "speedup"
+        );
+        let before = driver.cache_stats();
+        let rows = fig2_with(&driver, &m, effort);
         for r in &rows {
             println!(
                 "{:<12} {:>12.4} {:>12.4} {:>8.2}x",
-                r.name, r.baseline_time, r.pipelined_time, r.speedup()
+                r.name,
+                r.baseline_time,
+                r.pipelined_time,
+                r.speedup()
             );
         }
-        println!("geometric mean speedup: {:.2}x (paper: >1.35x)\n", fig2_geomean(&rows));
+        println!(
+            "geometric mean speedup: {:.2}x (paper: >1.35x)",
+            fig2_geomean(&rows)
+        );
+        report_cache(&driver, before);
     }
 
     if run("fig3") {
@@ -43,7 +87,8 @@ fn main() {
             print!(" {h:>7}");
         }
         println!();
-        let rows = fig3(&m, effort);
+        let before = driver.cache_stats();
+        let rows = fig3_with(&driver, &m, effort);
         for r in &rows {
             print!("{:<12}", r.name);
             for v in r.ratios {
@@ -63,16 +108,22 @@ fn main() {
                 .expect("4 entries");
             best_somewhere[best] = true;
         }
-        println!("heuristics that win at least one suite: {:?} (paper: 3 of 4)\n", best_somewhere);
+        println!(
+            "heuristics that win at least one suite: {:?} (paper: 3 of 4)",
+            best_somewhere
+        );
+        report_cache(&driver, before);
     }
 
     if run("fig4") {
         println!("== Figure 4: memory-bank heuristics enabled vs disabled ==");
         println!("{:<12} {:>12}", "benchmark", "improvement");
-        for r in fig4(&m, effort) {
+        let before = driver.cache_stats();
+        for r in fig4_with(&driver, &m, effort) {
             println!("{:<12} {:>11.3}x", r.name, r.improvement);
         }
-        println!("(paper: alvinn and mdljdp2 stand out)\n");
+        println!("(paper: alvinn and mdljdp2 stand out)");
+        report_cache(&driver, before);
     }
 
     if run("fig5") {
@@ -81,7 +132,8 @@ fn main() {
             "{:<12} {:>12} {:>15} {:>10}",
             "benchmark", "vs pairing", "vs no-pairing", "fallback%"
         );
-        let rows = fig5(&m, effort);
+        let before = driver.cache_stats();
+        let rows = fig5_with(&driver, &m, effort);
         for r in &rows {
             println!(
                 "{:<12} {:>11.3}x {:>14.3}x {:>9.0}%",
@@ -94,17 +146,22 @@ fn main() {
         let g1: Vec<f64> = rows.iter().map(|r| r.vs_pairing).collect();
         let g2: Vec<f64> = rows.iter().map(|r| r.vs_no_pairing).collect();
         println!(
-            "geomean vs pairing: {:.3} (paper ≈ 0.92); vs no-pairing: {:.3} (paper ≈ 1.0)\n",
+            "geomean vs pairing: {:.3} (paper ≈ 0.92); vs no-pairing: {:.3} (paper ≈ 1.0)",
             showdown::geometric_mean(&g1),
             showdown::geometric_mean(&g2)
         );
+        report_cache(&driver, before);
     }
 
     if run("fig6") || run("fig7") {
-        let rows = fig6_fig7(&m, effort);
+        let before = driver.cache_stats();
+        let rows = fig6_fig7_with(&driver, &m, effort);
         if run("fig6") {
             println!("== Figure 6: Livermore kernels, ILP vs MIPSpro (heur/ILP time) ==");
-            println!("{:<4} {:<28} {:>9} {:>9} {:>8}", "k", "name", "short", "long", "same II");
+            println!(
+                "{:<4} {:<28} {:>9} {:>9} {:>8}",
+                "k", "name", "short", "long", "same II"
+            );
             for r in &rows {
                 println!(
                     "{:<4} {:<28} {:>9.3} {:>9.3} {:>8}",
@@ -115,7 +172,10 @@ fn main() {
         }
         if run("fig7") {
             println!("== Figure 7: static deltas per Livermore loop (MIPSpro − ILP) ==");
-            println!("{:<4} {:<28} {:>9} {:>11} {:>9}", "k", "name", "Δregs", "Δoverhead", "fellback");
+            println!(
+                "{:<4} {:<28} {:>9} {:>11} {:>9}",
+                "k", "name", "Δregs", "Δoverhead", "fellback"
+            );
             let mut heur_fewer_regs = 0;
             let mut heur_lower_ovh = 0;
             let mut corr_breaks = 0;
@@ -137,9 +197,10 @@ fn main() {
             println!(
                 "heuristic uses fewer registers on {heur_fewer_regs}/24, lower overhead on \
                  {heur_lower_ovh}/24; reg/overhead disagree on {corr_breaks}/24 \
-                 (paper: 15/26, 12/26, 16/26 — no consistent winner)\n"
+                 (paper: 15/26, 12/26, 16/26 — no consistent winner)"
             );
         }
+        report_cache(&driver, before);
     }
 
     if run("compile-speed") {
@@ -165,12 +226,14 @@ fn main() {
 
     if run("ii-compare") {
         println!("== §5.0: achieved II comparison ==");
-        let c = ii_compare(&m, effort);
+        let before = driver.cache_stats();
+        let c = ii_compare_with(&driver, &m, effort);
         println!(
             "ILP strictly better: {} (paper: 1); heuristic strictly better: {}; ties: {}; \
-             ILP wins surviving a 16x backtrack-budget increase: {} (paper: 0)\n",
+             ILP wins surviving a 16x backtrack-budget increase: {} (paper: 0)",
             c.ilp_wins, c.heur_wins, c.ties, c.ilp_wins_after_budget_increase
         );
+        report_cache(&driver, before);
     }
 
     if run("ablation-order") {
@@ -197,6 +260,38 @@ fn main() {
         println!(
             "high-pressure loops pipelined with spilling: {}/{}; without: {}/{}\n",
             a.with_spilling, a.total, a.without_spilling, a.total
+        );
+    }
+
+    if cmd == "speedup" {
+        println!("== Parallel driver + schedule cache vs sequential reference ==");
+        println!("({} threads; figure set: fig2–fig7 + ii-compare)", threads);
+        println!(
+            "{:<12} {:>14} {:>14} {:>9} {:>7} {:>8} {:>9}",
+            "figure", "sequential", "parallel", "speedup", "hits", "misses", "hit rate"
+        );
+        let rows = driver_speedup(&m, effort, threads);
+        let mut seq_total = 0.0;
+        let mut par_total = 0.0;
+        for r in &rows {
+            seq_total += r.sequential.as_secs_f64();
+            par_total += r.parallel.as_secs_f64();
+            println!(
+                "{:<12} {:>13.3}s {:>13.3}s {:>8.2}x {:>7} {:>8} {:>8.0}%",
+                r.figure,
+                r.sequential.as_secs_f64(),
+                r.parallel.as_secs_f64(),
+                r.speedup(),
+                r.hits,
+                r.misses,
+                100.0 * r.hit_rate()
+            );
+        }
+        println!(
+            "end-to-end: sequential {:.3}s, parallel+cached {:.3}s — {:.2}x speedup",
+            seq_total,
+            par_total,
+            seq_total / par_total.max(1e-9)
         );
     }
 }

@@ -106,7 +106,14 @@ pub fn list_schedule(lp: &Loop, ddg: &Ddg, machine: &Machine) -> BaselineLoop {
         let mut c = ready;
         loop {
             // Grow rows as needed and test the reservations.
-            let need_until = c + i64::from(machine.reservations(class).iter().map(|r| r.duration).max().unwrap_or(1));
+            let need_until = c + i64::from(
+                machine
+                    .reservations(class)
+                    .iter()
+                    .map(|r| r.duration)
+                    .max()
+                    .unwrap_or(1),
+            );
             while (rows.len() as i64) < need_until {
                 rows.push([0; 4]);
             }
@@ -136,7 +143,11 @@ pub fn list_schedule(lp: &Loop, ddg: &Ddg, machine: &Machine) -> BaselineLoop {
         .max()
         .unwrap_or(1)
         .max(1) as u64;
-    BaselineLoop { body: lp.clone(), times, cycles_per_iter }
+    BaselineLoop {
+        body: lp.clone(),
+        times,
+        cycles_per_iter,
+    }
 }
 
 #[cfg(test)]
@@ -204,10 +215,7 @@ mod tests {
         let base = list_schedule(&lp, &ddg, &m);
         // No cycle holds 3 memory refs.
         for c in 0..base.cycles_per_iter() as i64 {
-            let refs = lp
-                .mem_ops()
-                .filter(|o| base.time(o.id) == c)
-                .count();
+            let refs = lp.mem_ops().filter(|o| base.time(o.id) == c).count();
             assert!(refs <= 2, "cycle {c} has {refs} memory refs");
         }
     }

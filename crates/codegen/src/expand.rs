@@ -72,7 +72,7 @@ const FREE_REGS_PER_CLASS: u32 = 16;
 /// assert!(code.overhead().total_cycles() > 0);
 /// # Ok::<(), swp_heur::PipelineError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelinedLoop {
     body: Loop,
     schedule: Schedule,
@@ -100,7 +100,11 @@ impl PipelinedLoop {
             let t = schedule.time(op.id);
             let mut i = 0i64;
             while i * ii + t < fill_end {
-                prologue.push(CodeOp { op: op.id, iteration: i, cycle: i * ii + t });
+                prologue.push(CodeOp {
+                    op: op.id,
+                    iteration: i,
+                    cycle: i * ii + t,
+                });
                 i += 1;
             }
         }
@@ -128,7 +132,11 @@ impl PipelinedLoop {
             for s in 1..i64::from(sc) {
                 let c = t - s * ii;
                 if c >= 0 {
-                    epilogue.push(CodeOp { op: op.id, iteration: -s, cycle: c });
+                    epilogue.push(CodeOp {
+                        op: op.id,
+                        iteration: -s,
+                        cycle: c,
+                    });
                 }
             }
         }
@@ -223,10 +231,7 @@ impl PipelinedLoop {
             return 0;
         }
         let ii = u64::from(self.schedule.ii());
-        (n - 1) * ii
-            + self.schedule.span() as u64
-            + 1
-            + self.overhead.reg_save_cycles as u64
+        (n - 1) * ii + self.schedule.span() as u64 + 1 + self.overhead.reg_save_cycles as u64
     }
 }
 

@@ -2,6 +2,7 @@
 //! one loop, with the paper's static and dynamic quality measures.
 
 use crate::compile::{compile_loop, CompileError, CompiledLoop, SchedulerChoice};
+use crate::par::Driver;
 use swp_ir::Loop;
 use swp_machine::Machine;
 use swp_sim::{simulate, SimResult};
@@ -92,6 +93,32 @@ pub fn compare(
 ) -> Result<LoopComparison, CompileError> {
     let h = compile_loop(lp, machine, heur)?;
     let i = compile_loop(lp, machine, ilp)?;
+    Ok(LoopComparison {
+        name: lp.name().to_owned(),
+        heuristic: Measured::from_compiled(&h, machine, short_trip, long_trip),
+        ilp: Measured::from_compiled(&i, machine, short_trip, long_trip),
+    })
+}
+
+/// [`compare`] through a [`Driver`]: both compiles go through the
+/// driver's schedule cache (the ILP compile of a Livermore kernel is by
+/// far the most expensive step of Figures 6/7, and fig7 repeats fig6's
+/// compiles exactly).
+///
+/// # Errors
+///
+/// Propagates whichever pipeliner fails, heuristic first.
+pub fn compare_with(
+    driver: &Driver,
+    lp: &Loop,
+    machine: &Machine,
+    heur: &SchedulerChoice,
+    ilp: &SchedulerChoice,
+    short_trip: u64,
+    long_trip: u64,
+) -> Result<LoopComparison, CompileError> {
+    let h = driver.compile(lp, machine, heur)?;
+    let i = driver.compile(lp, machine, ilp)?;
     Ok(LoopComparison {
         name: lp.name().to_owned(),
         heuristic: Measured::from_compiled(&h, machine, short_trip, long_trip),

@@ -44,6 +44,13 @@ pub struct CompileStats {
     pub search_effort: u64,
     /// Values spilled (heuristic only).
     pub spills: u32,
+    /// Nanoseconds in the pipeliner proper (II search + scheduling),
+    /// excluding register allocation.
+    pub sched_ns: u64,
+    /// Nanoseconds in register allocation (all attempts).
+    pub alloc_ns: u64,
+    /// Nanoseconds expanding the kernel to prologue/kernel/epilogue form.
+    pub expand_ns: u64,
 }
 
 /// Why compilation failed.
@@ -91,8 +98,12 @@ fn compile_heur(
     machine: &Machine,
     opts: &HeurOptions,
 ) -> Result<CompiledLoop, CompileError> {
+    let t0 = std::time::Instant::now();
     let p = swp_heur::pipeline(lp, machine, opts).map_err(CompileError::Heuristic)?;
+    let pipeline_ns = elapsed_ns(t0);
+    let t1 = std::time::Instant::now();
     let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
+    let expand_ns = elapsed_ns(t1);
     Ok(CompiledLoop {
         code,
         stats: CompileStats {
@@ -102,6 +113,9 @@ fn compile_heur(
             optimal: false,
             search_effort: u64::from(p.stats.backtracks),
             spills: p.stats.spills,
+            sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
+            alloc_ns: p.stats.alloc_ns,
+            expand_ns,
         },
     })
 }
@@ -111,8 +125,12 @@ fn compile_ilp(
     machine: &Machine,
     opts: &MostOptions,
 ) -> Result<CompiledLoop, CompileError> {
+    let t0 = std::time::Instant::now();
     let p = swp_most::pipeline_most(lp, machine, opts).map_err(CompileError::Ilp)?;
+    let pipeline_ns = elapsed_ns(t0);
+    let t1 = std::time::Instant::now();
     let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
+    let expand_ns = elapsed_ns(t1);
     Ok(CompiledLoop {
         code,
         stats: CompileStats {
@@ -122,8 +140,15 @@ fn compile_ilp(
             optimal: p.stats.optimal_ii,
             search_effort: p.stats.nodes,
             spills: 0,
+            sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
+            alloc_ns: p.stats.alloc_ns,
+            expand_ns,
         },
     })
+}
+
+fn elapsed_ns(t: std::time::Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Build the non-pipelined baseline (software pipelining "disabled",

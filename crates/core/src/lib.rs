@@ -19,7 +19,10 @@
 //!
 //! This crate is the front door: [`compile_loop`] runs either pipeliner
 //! end-to-end, [`compare`] produces the paper's side-by-side measurements,
-//! and [`run_suite`] scores whole benchmark suites.
+//! and [`run_suite`] scores whole benchmark suites. [`Driver`] fans those
+//! entry points across a work-stealing thread pool and memoizes compiles
+//! in a [`ScheduleCache`], with results guaranteed identical to the
+//! sequential paths.
 //!
 //! # Examples
 //!
@@ -46,15 +49,22 @@
 //! # Ok::<(), showdown::CompileError>(())
 //! ```
 
+mod cache;
 mod compare;
 mod compile;
+mod par;
 mod suite;
 
-pub use compare::{compare, LoopComparison, Measured};
+pub use cache::{cache_key, CacheStats, ScheduleCache};
+pub use compare::{compare, compare_with, LoopComparison, Measured};
 pub use compile::{
     compile_baseline, compile_loop, CompileError, CompileStats, CompiledLoop, SchedulerChoice,
 };
-pub use suite::{geometric_mean, run_suite, run_suite_baseline, SuiteResult};
+pub use par::Driver;
+pub use suite::{
+    geometric_mean, run_suite, run_suite_baseline, run_suite_baseline_with, run_suite_with,
+    SuiteResult,
+};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use {
@@ -69,5 +79,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<crate::LoopComparison>();
         assert_send_sync::<crate::SuiteResult>();
+        assert_send_sync::<crate::Driver>();
+        assert_send_sync::<crate::ScheduleCache>();
     }
 }

@@ -1,0 +1,227 @@
+//! Parallel compile driver.
+//!
+//! The figure harness compiles hundreds of loops that are independent of
+//! one another, so [`Driver`] fans them across a small pool of scoped
+//! threads with work stealing: each worker owns a deque seeded with a
+//! round-robin share of the job indices, pops from its own front, and
+//! steals from the back of a sibling when it runs dry. Results land in
+//! per-index slots, so callers always observe them **in job order**
+//! regardless of completion order — the parallel drivers are drop-in
+//! replacements for their sequential loops.
+//!
+//! Compiles go through a shared [`ScheduleCache`], which both memoizes
+//! repeat requests across figures and deduplicates concurrent requests
+//! for the same (loop, machine, options) triple, so determinism does not
+//! depend on which thread wins a race.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex};
+
+use crate::cache::{CacheStats, ScheduleCache};
+use crate::compile::{compile_loop, CompileError, CompiledLoop, SchedulerChoice};
+use swp_ir::Loop;
+use swp_machine::Machine;
+
+/// A thread-pool + schedule-cache pair that drives compiles.
+#[derive(Clone)]
+pub struct Driver {
+    threads: usize,
+    cache: Option<Arc<ScheduleCache>>,
+}
+
+impl Default for Driver {
+    /// One worker per available core, with a fresh cache.
+    fn default() -> Driver {
+        let threads = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        Driver::new(threads)
+    }
+}
+
+impl Driver {
+    /// A driver with `threads` workers (clamped to at least 1) and a
+    /// fresh shared cache.
+    pub fn new(threads: usize) -> Driver {
+        Driver::with_cache(threads, Arc::new(ScheduleCache::new()))
+    }
+
+    /// A driver sharing an existing cache — use this to reuse compiles
+    /// across figures or across nested drivers.
+    pub fn with_cache(threads: usize, cache: Arc<ScheduleCache>) -> Driver {
+        Driver {
+            threads: threads.max(1),
+            cache: Some(cache),
+        }
+    }
+
+    /// A driver that always compiles from scratch. This is the reference
+    /// configuration for speedup measurements and cache-correctness
+    /// tests.
+    pub fn uncached(threads: usize) -> Driver {
+        Driver {
+            threads: threads.max(1),
+            cache: None,
+        }
+    }
+
+    /// A single-threaded view over the same cache. Figure functions use
+    /// this for their inner suite loops so only the outer fan-out spawns
+    /// threads (nested parallelism on a small pool just adds contention).
+    pub fn sequential_view(&self) -> Driver {
+        Driver {
+            threads: 1,
+            cache: self.cache.clone(),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared cache, if this driver memoizes.
+    pub fn cache(&self) -> Option<&ScheduleCache> {
+        self.cache.as_deref()
+    }
+
+    /// Hit/miss counters of the shared cache (zeros when uncached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Compile one loop, consulting the cache when enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the underlying scheduler.
+    pub fn compile(
+        &self,
+        lp: &Loop,
+        machine: &Machine,
+        choice: &SchedulerChoice,
+    ) -> Result<Arc<CompiledLoop>, CompileError> {
+        match &self.cache {
+            Some(cache) => cache.get_or_compile(lp, machine, choice),
+            None => compile_loop(lp, machine, choice).map(Arc::new),
+        }
+    }
+
+    /// Run `f(0..jobs)` across the worker pool and return the results in
+    /// job order. With one worker (or one job) this degenerates to a
+    /// plain sequential loop on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run_indexed<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(jobs);
+        if workers <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        // Round-robin seeding spreads long jobs (suites and loops arrive
+        // roughly sorted by size) across workers; stealing rebalances
+        // whatever the seeding gets wrong.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((0..jobs).skip(w).step_by(workers).collect()))
+            .collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let slots = &slots;
+                    let f = &f;
+                    s.spawn(move || {
+                        while let Some(job) = next_job(queues, w) {
+                            let result = f(job);
+                            *slots[job].lock().expect("result slot lock") = Some(result);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(panic) = h.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("queues drained, so every job ran")
+            })
+            .collect()
+    }
+}
+
+/// Pop from our own front, else steal from a sibling's back.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(job) = queues[w].lock().expect("job queue lock").pop_front() {
+        return Some(job);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        let victim = (w + offset) % n;
+        if let Some(job) = queues[victim].lock().expect("job queue lock").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_job_order() {
+        for threads in [1, 2, 8] {
+            let driver = Driver::uncached(threads);
+            let out = driver.run_indexed(25, |i| i * i);
+            assert_eq!(out, (0..25).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let driver = Driver::new(8);
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        driver.run_indexed(counters.len(), |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let driver = Driver::new(4);
+        let out: Vec<u32> = driver.run_indexed(0, |_| unreachable!("no jobs"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_view_shares_the_cache() {
+        let driver = Driver::new(4);
+        let seq = driver.sequential_view();
+        assert_eq!(seq.threads(), 1);
+        let (a, b) = (
+            driver.cache().expect("cached"),
+            seq.cache().expect("cached"),
+        );
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn uncached_driver_reports_zero_stats() {
+        let driver = Driver::uncached(2);
+        assert!(driver.cache().is_none());
+        assert_eq!(driver.cache_stats(), CacheStats::default());
+    }
+}

@@ -1,13 +1,22 @@
 //! Whole-benchmark measurement: compile and simulate every hot loop of a
 //! SPEC-like suite and aggregate to a single relative time.
+//!
+//! Each `run_suite*` function has a `*_with` twin that takes a
+//! [`Driver`] and fans the per-loop work across its thread pool,
+//! consulting its schedule cache. The `_with` variants produce results
+//! **identical** to the plain sequential functions — per-loop outcomes
+//! land in suite order regardless of completion order, and the weighted
+//! aggregation runs over that ordered vector (`tests/determinism.rs`
+//! locks this down at several thread counts).
 
 use crate::compile::{compile_baseline, compile_loop, CompileError, SchedulerChoice};
+use crate::par::Driver;
 use swp_kernels::Suite;
 use swp_machine::Machine;
 use swp_sim::{simulate, simulate_baseline};
 
 /// Result of running one suite under one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteResult {
     /// Suite name.
     pub name: String,
@@ -46,6 +55,43 @@ pub fn run_suite(
     })
 }
 
+/// [`run_suite`] over a [`Driver`]: loops compile (through the driver's
+/// cache) and simulate in parallel, but the result is identical to the
+/// sequential function — including which error surfaces when several
+/// loops fail (the earliest in suite order wins).
+///
+/// # Errors
+///
+/// Propagates the first loop (in suite order) that fails to compile.
+pub fn run_suite_with(
+    driver: &Driver,
+    suite: &Suite,
+    machine: &Machine,
+    choice: &SchedulerChoice,
+) -> Result<SuiteResult, CompileError> {
+    let per_loop: Vec<Result<(u64, u32), CompileError>> =
+        driver.run_indexed(suite.loops.len(), |i| {
+            let wl = &suite.loops[i];
+            let c = driver.compile(&wl.body, machine, choice)?;
+            let r = simulate(&c.code, wl.trip, machine);
+            Ok((r.cycles, c.stats.ii))
+        });
+    let mut cycles = Vec::with_capacity(suite.loops.len());
+    let mut iis = Vec::with_capacity(suite.loops.len());
+    for r in per_loop {
+        let (c, ii) = r?;
+        cycles.push(c);
+        iis.push(ii);
+    }
+    let per: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+    Ok(SuiteResult {
+        name: suite.name.to_owned(),
+        time: suite.aggregate_time(&per),
+        per_loop_cycles: cycles,
+        per_loop_ii: iis,
+    })
+}
+
 /// Run a suite with software pipelining disabled (the list-scheduled
 /// baseline of §4.1).
 pub fn run_suite_baseline(suite: &Suite, machine: &Machine) -> SuiteResult {
@@ -55,6 +101,23 @@ pub fn run_suite_baseline(suite: &Suite, machine: &Machine) -> SuiteResult {
         let r = simulate_baseline(&base, wl.trip, machine);
         cycles.push(r.cycles);
     }
+    let per: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+    SuiteResult {
+        name: suite.name.to_owned(),
+        time: suite.aggregate_time(&per),
+        per_loop_cycles: cycles,
+        per_loop_ii: vec![0; suite.loops.len()],
+    }
+}
+
+/// [`run_suite_baseline`] over a [`Driver`]'s thread pool. Baseline list
+/// schedules are too cheap to cache; only the simulation fans out.
+pub fn run_suite_baseline_with(driver: &Driver, suite: &Suite, machine: &Machine) -> SuiteResult {
+    let cycles: Vec<u64> = driver.run_indexed(suite.loops.len(), |i| {
+        let wl = &suite.loops[i];
+        let base = compile_baseline(&wl.body, machine);
+        simulate_baseline(&base, wl.trip, machine).cycles
+    });
     let per: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
     SuiteResult {
         name: suite.name.to_owned(),
@@ -94,6 +157,23 @@ mod tests {
             base.time,
             pipe.time
         );
+    }
+
+    #[test]
+    fn driver_suite_run_matches_sequential() {
+        let m = Machine::r8000();
+        let suite = swp_kernels::spec_suites()
+            .into_iter()
+            .find(|s| s.name == "swm256")
+            .expect("swm256 exists");
+        let seq = run_suite(&suite, &m, &SchedulerChoice::Heuristic).expect("compiles");
+        let driver = Driver::new(4);
+        let par =
+            run_suite_with(&driver, &suite, &m, &SchedulerChoice::Heuristic).expect("compiles");
+        assert_eq!(seq, par);
+        let base_seq = run_suite_baseline(&suite, &m);
+        let base_par = run_suite_baseline_with(&driver, &suite, &m);
+        assert_eq!(base_seq, base_par);
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl PairingContext {
             list.sort_by_key(|&o| pos_of(o));
             partners[m.id.index()] = list;
         }
-        PairingContext { partners, pairs_needed, pairs_done: 0 }
+        PairingContext {
+            partners,
+            pairs_needed,
+            pairs_done: 0,
+        }
     }
 
     /// Whether a reference has any known-opposite partner.
@@ -137,7 +141,14 @@ impl PairingContext {
     /// Same-row ops `k` stages apart co-issue with instances from
     /// iterations `k` apart, so the address delta gains `stride·k`
     /// (`k = (t_op − t_other) / II`).
-    pub fn safe_together(lp: &Loop, op: OpId, t_op: i64, other: OpId, t_other: i64, ii: u32) -> bool {
+    pub fn safe_together(
+        lp: &Loop,
+        op: OpId,
+        t_op: i64,
+        other: OpId,
+        t_other: i64,
+        ii: u32,
+    ) -> bool {
         let (Some(a), Some(b)) = (lp.op(op).mem, lp.op(other).mem) else {
             return true;
         };
@@ -187,7 +198,9 @@ impl PairingContext {
 /// schedules … searching for schedules with provably better stalling
 /// behavior" at the end of §2.9.
 pub fn stall_score(lp: &Loop, times: &[i64], ii: u32, machine: &Machine) -> f64 {
-    let Some(bank_model) = machine.bank_model() else { return 0.0 };
+    let Some(bank_model) = machine.bank_model() else {
+        return 0.0;
+    };
     let mut rows: Vec<Vec<OpId>> = vec![Vec::new(); ii as usize];
     for op in lp.mem_ops() {
         let row = times[op.id.index()].rem_euclid(i64::from(ii)) as usize;
@@ -210,9 +223,9 @@ pub fn stall_score(lp: &Loop, times: &[i64], ii: u32, machine: &Machine) -> f64 
                 let mut same = 0i64;
                 for it in WINDOW..(2 * WINDOW) {
                     let ia = (it - k).max(0) as u64;
-                    let addr_a =
-                        (lp.array(ma.array).base_align as i64 + ma.addr_at(ia)) as u64;
-                    let addr_b = (lp.array(mb.array).base_align as i64 + mb.addr_at(it as u64)) as u64;
+                    let addr_a = (lp.array(ma.array).base_align as i64 + ma.addr_at(ia)) as u64;
+                    let addr_b =
+                        (lp.array(mb.array).base_align as i64 + mb.addr_at(it as u64)) as u64;
                     if bank_model.bank_of(addr_a) == bank_model.bank_of(addr_b) {
                         same += 1;
                     }
@@ -302,7 +315,10 @@ mod tests {
         // Same row at II=2 but 3 stages apart: delta = 8 − 8·3 = −16 ≡ 0.
         assert_eq!(relative_bank_at(&lp, &mb, 7, &ma, 1, 2), RelBank::KnownSame);
         // 2 stages apart: delta = 8 − 16 = −8 ≡ 8 → opposite again.
-        assert_eq!(relative_bank_at(&lp, &mb, 5, &ma, 1, 2), RelBank::KnownOpposite);
+        assert_eq!(
+            relative_bank_at(&lp, &mb, 5, &ma, 1, 2),
+            RelBank::KnownOpposite
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod search;
 pub use modsched::{schedule_at, AttemptStats};
 pub use priority::{priority_list, PriorityHeuristic};
 pub use restable::{identical_resources, ResTable};
-pub use search::{pipeline, HeurOptions, Pipelined, PipelineError, PipelineStats};
+pub use search::{pipeline, HeurOptions, PipelineError, PipelineStats, Pipelined};
 
 #[cfg(test)]
 mod tests {

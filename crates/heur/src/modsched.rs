@@ -159,7 +159,9 @@ impl<'a> State<'a> {
     fn find_cycle(&self, op: OpId, from: i64, hi: i64, late: bool) -> Option<i64> {
         let class = self.lp.op(op).class;
         if late {
-            (from..=hi).rev().find(|&c| self.table.fits(self.machine, class, c))
+            (from..=hi)
+                .rev()
+                .find(|&c| self.table.fits(self.machine, class, c))
         } else {
             (from..=hi).find(|&c| self.table.fits(self.machine, class, c))
         }
@@ -177,8 +179,16 @@ impl<'a> State<'a> {
         let class = self.lp.op(op).class;
         let ii = i64::from(self.ii);
         let first_fit = self.find_cycle(op, from, hi, late)?;
-        let lo_w = if late { (first_fit - MAX_DISPLACEMENT).max(from) } else { first_fit };
-        let hi_w = if late { first_fit } else { hi.min(first_fit + MAX_DISPLACEMENT) };
+        let lo_w = if late {
+            (first_fit - MAX_DISPLACEMENT).max(from)
+        } else {
+            first_fit
+        };
+        let hi_w = if late {
+            first_fit
+        } else {
+            hi.min(first_fit + MAX_DISPLACEMENT)
+        };
         let safe = (lo_w..=hi_w).find(|&c| {
             if !self.table.fits(self.machine, class, c) {
                 return false;
@@ -202,14 +212,18 @@ impl<'a> State<'a> {
     fn place(&mut self, pos: usize, cycle: i64, hi: i64) {
         let op = self.order[pos];
         self.table.place(self.machine, self.lp.op(op).class, cycle);
-        self.placed[pos] = Some(Placed { cycle, range_hi: hi });
+        self.placed[pos] = Some(Placed {
+            cycle,
+            range_hi: hi,
+        });
         self.time[op.index()] = Some(cycle);
     }
 
     fn unschedule(&mut self, pos: usize) {
         if let Some(p) = self.placed[pos].take() {
             let op = self.order[pos];
-            self.table.remove(self.machine, self.lp.op(op).class, p.cycle);
+            self.table
+                .remove(self.machine, self.lp.op(op).class, p.cycle);
             self.time[op.index()] = None;
         }
     }
@@ -239,6 +253,7 @@ impl<'a> State<'a> {
 ///
 /// `budget` caps backtracks; `pairing` enables the §2.9 memory-bank
 /// heuristics.
+#[allow(clippy::too_many_arguments)]
 pub fn schedule_at(
     lp: &Loop,
     ddg: &Ddg,
@@ -333,7 +348,11 @@ pub fn schedule_at(
             }
         }
     }
-    Some((0..lp.len()).map(|v| st.time[v].expect("all ops scheduled")).collect())
+    Some(
+        (0..lp.len())
+            .map(|v| st.time[v].expect("all ops scheduled"))
+            .collect(),
+    )
 }
 
 /// Find the largest catch point `j < i` per §2.4: first under the strict
@@ -423,7 +442,10 @@ impl PairingView<'_, '_> {
             return false;
         }
         self.table.place(self.machine, class, cycle);
-        self.placed[pos] = Some(Placed { cycle, range_hi: hi });
+        self.placed[pos] = Some(Placed {
+            cycle,
+            range_hi: hi,
+        });
         self.time[op.index()] = Some(cycle);
         true
     }
@@ -527,6 +549,9 @@ mod tests {
         let order = priority_list(&lp, &ddg, &m, PriorityHeuristic::Hms);
         let mut stats = AttemptStats::default();
         let result = schedule_at(&lp, &ddg, &m, min_ii, &order, 1000, None, &mut stats);
-        assert!(result.is_some(), "budget allows a schedule at MinII={min_ii}");
+        assert!(
+            result.is_some(),
+            "budget allows a schedule at MinII={min_ii}"
+        );
     }
 }

@@ -330,7 +330,11 @@ mod tests {
         let lp = b.finish();
         let ddg = Ddg::build(&lp, &m);
         let order = priority_list(&lp, &ddg, &m, PriorityHeuristic::Fdnms);
-        assert_eq!(order[0].index(), 2, "unpipelined divide folded to head: {order:?}");
+        assert_eq!(
+            order[0].index(),
+            2,
+            "unpipelined divide folded to head: {order:?}"
+        );
     }
 
     #[test]
@@ -348,13 +352,16 @@ mod tests {
         let lp = b.finish();
         let ddg = Ddg::build(&lp, &m);
         let cyclic: Vec<bool> = lp.ops().iter().map(|o| ddg.in_cycle(o.id)).collect();
-        assert!(cyclic.iter().filter(|&&c| c).count() >= 3, "loop has a big SCC");
+        assert!(
+            cyclic.iter().filter(|&&c| c).count() >= 3,
+            "loop has a big SCC"
+        );
         for h in PriorityHeuristic::ALL {
             let order = priority_list(&lp, &ddg, &m, h);
             let positions: Vec<usize> = order
                 .iter()
                 .enumerate()
-                .filter(|(_, op)| ddg.in_cycle(**op) )
+                .filter(|(_, op)| ddg.in_cycle(**op))
                 .map(|(i, _)| i)
                 .collect();
             for w in positions.windows(2) {

@@ -23,7 +23,11 @@ impl ResTable {
         for class in swp_machine::ResourceClass::ALL {
             limits[class.index()] = machine.units(class);
         }
-        ResTable { ii, rows: vec![[0; 4]; ii as usize], limits }
+        ResTable {
+            ii,
+            rows: vec![[0; 4]; ii as usize],
+            limits,
+        }
     }
 
     /// The table's II.
@@ -58,8 +62,8 @@ impl ResTable {
             }
         }
         for (row, dem) in demand.iter().enumerate() {
-            for c in 0..4 {
-                if dem[c] > 0 && self.rows[row][c] + dem[c] > self.limits[c] {
+            for (c, d) in dem.iter().enumerate() {
+                if *d > 0 && self.rows[row][c] + d > self.limits[c] {
                     return false;
                 }
             }
@@ -87,7 +91,10 @@ impl ResTable {
         for r in machine.reservations(class) {
             for d in 0..r.duration {
                 let row = (cycle + i64::from(d)).rem_euclid(i64::from(self.ii)) as usize;
-                debug_assert!(self.rows[row][r.class.index()] > 0, "removing from empty row");
+                debug_assert!(
+                    self.rows[row][r.class.index()] > 0,
+                    "removing from empty row"
+                );
                 self.rows[row][r.class.index()] -= 1;
             }
         }
@@ -117,7 +124,10 @@ mod tests {
         assert!(t.fits(&m, OpClass::Load, 0));
         t.place(&m, OpClass::Load, 0);
         t.place(&m, OpClass::Load, 0);
-        assert!(!t.fits(&m, OpClass::Load, 5), "2 memory units exhausted in the single row");
+        assert!(
+            !t.fits(&m, OpClass::Load, 5),
+            "2 memory units exhausted in the single row"
+        );
         t.remove(&m, OpClass::Load, 0);
         assert!(t.fits(&m, OpClass::Load, 0));
     }
@@ -128,7 +138,10 @@ mod tests {
         let mut t = ResTable::new(&m, 11);
         t.place(&m, OpClass::FDiv, 0); // occupies FP rows 0..11
         t.place(&m, OpClass::FDiv, 3); // second pipe
-        assert!(!t.fits(&m, OpClass::FAdd, 5), "both FP pipes blocked everywhere");
+        assert!(
+            !t.fits(&m, OpClass::FAdd, 5),
+            "both FP pipes blocked everywhere"
+        );
     }
 
     #[test]

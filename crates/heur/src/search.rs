@@ -67,6 +67,8 @@ pub struct PipelineStats {
     pub pairs_formed: u32,
     /// IIs probed during the search.
     pub iis_tried: Vec<u32>,
+    /// Nanoseconds spent in register allocation, across every attempt.
+    pub alloc_ns: u64,
 }
 
 /// A successfully software-pipelined loop.
@@ -141,7 +143,11 @@ enum AttemptOutcome {
 /// [`PipelineError::EmptyLoop`] for empty bodies;
 /// [`PipelineError::NoSchedule`] when the II search (including spill
 /// retries) exhausts `MaxII`.
-pub fn pipeline(lp: &Loop, machine: &Machine, opts: &HeurOptions) -> Result<Pipelined, PipelineError> {
+pub fn pipeline(
+    lp: &Loop,
+    machine: &Machine,
+    opts: &HeurOptions,
+) -> Result<Pipelined, PipelineError> {
     if lp.is_empty() {
         return Err(PipelineError::EmptyLoop);
     }
@@ -156,7 +162,9 @@ pub fn pipeline(lp: &Loop, machine: &Machine, opts: &HeurOptions) -> Result<Pipe
         stats.min_ii = min_ii;
 
         let two_phase = opts.two_phase_search && spill_round == 0;
-        let found = search_iis(&body, &ddg, machine, opts, min_ii, max_ii, two_phase, &mut stats);
+        let found = search_iis(
+            &body, &ddg, machine, opts, min_ii, max_ii, two_phase, &mut stats,
+        );
 
         match found {
             Ok(c) => {
@@ -176,8 +184,7 @@ pub fn pipeline(lp: &Loop, machine: &Machine, opts: &HeurOptions) -> Result<Pipe
                 match (can_spill, alloc_candidates) {
                     (true, Some(candidates)) => {
                         let n = 1usize << spill_round;
-                        let chosen: Vec<_> =
-                            candidates.iter().take(n).map(|c| c.value).collect();
+                        let chosen: Vec<_> = candidates.iter().take(n).map(|c| c.value).collect();
                         stats.spills += chosen.len() as u32;
                         stats.spill_rounds += 1;
                         spill_round += 1;
@@ -322,8 +329,16 @@ fn attempt_at(
                 p
             });
             stats.attempts += 1;
-            let times =
-                schedule_at(body, ddg, machine, ii, &order, opts.backtrack_budget, px.as_mut(), &mut attempt);
+            let times = schedule_at(
+                body,
+                ddg,
+                machine,
+                ii,
+                &order,
+                opts.backtrack_budget,
+                px.as_mut(),
+                &mut attempt,
+            );
             stats.backtracks += attempt.backtracks;
             stats.placements += attempt.placements;
             let Some(times) = times else {
@@ -333,14 +348,25 @@ fn attempt_at(
             let times = adjust_pipestages(body, ddg, ii, times);
             let schedule = Schedule::new(ii, times);
             debug_assert_eq!(schedule.validate(body, ddg, machine), Ok(()));
-            match allocate(body, &schedule, machine) {
+            let alloc_started = std::time::Instant::now();
+            let outcome = allocate(body, &schedule, machine);
+            stats.alloc_ns = stats.alloc_ns.saturating_add(
+                u64::try_from(alloc_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            match outcome {
                 AllocOutcome::Allocated(allocation) => {
                     let stall = if banked {
                         stall_score(body, schedule.times(), ii, machine)
                     } else {
                         0.0
                     };
-                    successes.push(Candidate { schedule, allocation, heuristic: h, stats: attempt, stall });
+                    successes.push(Candidate {
+                        schedule,
+                        allocation,
+                        heuristic: h,
+                        stats: attempt,
+                        stall,
+                    });
                     break; // next heuristic
                 }
                 AllocOutcome::Failed { candidates } => {
@@ -358,7 +384,8 @@ fn attempt_at(
                 }
             }
         }
-        if !successes.is_empty() && !(opts.explore_stalls && banked) {
+        let exploring = opts.explore_stalls && banked;
+        if !successes.is_empty() && !exploring {
             break; // first success wins when not exploring
         }
     }
@@ -449,7 +476,10 @@ mod tests {
     fn single_heuristic_subset_works() {
         let m = Machine::r8000();
         for h in PriorityHeuristic::ALL {
-            let opts = HeurOptions { heuristics: vec![h], ..HeurOptions::default() };
+            let opts = HeurOptions {
+                heuristics: vec![h],
+                ..HeurOptions::default()
+            };
             let p = pipeline(&saxpy(), &m, &opts).expect("pipelines");
             assert_eq!(p.heuristic, h);
         }
@@ -489,7 +519,10 @@ mod tests {
         let b = pipeline(
             &saxpy(),
             &m,
-            &HeurOptions { two_phase_search: false, ..HeurOptions::default() },
+            &HeurOptions {
+                two_phase_search: false,
+                ..HeurOptions::default()
+            },
         )
         .expect("binary");
         assert_eq!(a.ii(), b.ii());

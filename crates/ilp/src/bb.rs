@@ -149,7 +149,13 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
                             let kind = model.vars[j].kind;
                             let (lo, hi) = (lower[j], upper[j]);
                             let alts = branch_alternatives(kind, v, lo, hi);
-                            stack.push(Frame { var: j, saved_lo: lo, saved_hi: hi, alts, next: 0 });
+                            stack.push(Frame {
+                                var: j,
+                                saved_lo: lo,
+                                saved_hi: hi,
+                                alts,
+                                next: 0,
+                            });
                             descend = true;
                         }
                     }
@@ -159,7 +165,11 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
             LpOutcome::Unbounded => {
                 // An unbounded relaxation of a node: the integer problem is
                 // unbounded or ill-posed; report and stop.
-                return IlpResult { status: Status::Unknown, solution: incumbent, nodes };
+                return IlpResult {
+                    status: Status::Unknown,
+                    solution: incumbent,
+                    nodes,
+                };
             }
             LpOutcome::IterLimit => {
                 truncated = true;
@@ -193,7 +203,11 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
         (None, false) => Status::Infeasible,
         (None, true) => Status::Unknown,
     };
-    IlpResult { status, solution: incumbent, nodes }
+    IlpResult {
+        status,
+        solution: incumbent,
+        nodes,
+    }
 }
 
 /// Pick the branching variable: the first fractional variable in the given
@@ -288,6 +302,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs mirror the cost matrix
     fn assignment_problem() {
         // 3 jobs to 3 slots, costs; classic set partitioning.
         let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
@@ -299,7 +314,9 @@ mod tests {
             }
         }
         m.set_objective(
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| (x[i][j], costs[i][j])),
+            (0..3)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .map(|(i, j)| (x[i][j], costs[i][j])),
         );
         for i in 0..3 {
             m.add_eq((0..3).map(|j| (x[i][j], 1.0)), 1.0);
@@ -323,7 +340,10 @@ mod tests {
         m.add_ge([(x, 1.0), (y, 1.0)], 1.0);
         let r = solve_ilp(
             &m,
-            &SolveOptions { stop_at_first: true, ..SolveOptions::default() },
+            &SolveOptions {
+                stop_at_first: true,
+                ..SolveOptions::default()
+            },
         );
         assert_eq!(r.status, Status::Feasible);
         assert!(r.solution.is_some());
@@ -338,7 +358,13 @@ mod tests {
         m.set_objective([(x, 1.0), (y, 1.0)]);
         m.add_le([(x, 2.0), (y, 3.0)], 7.0);
         m.add_le([(x, 3.0), (y, 2.0)], 7.0);
-        let r = solve_ilp(&m, &SolveOptions { node_limit: 1, ..SolveOptions::default() });
+        let r = solve_ilp(
+            &m,
+            &SolveOptions {
+                node_limit: 1,
+                ..SolveOptions::default()
+            },
+        );
         assert!(matches!(r.status, Status::Unknown | Status::Feasible));
     }
 
@@ -353,13 +379,17 @@ mod tests {
         m.add_le([(x, 1.0), (y, 1.0), (z, 1.0)], 2.0);
         let r = solve_ilp(
             &m,
-            &SolveOptions { branch_order: Some(vec![z, y, x]), ..SolveOptions::default() },
+            &SolveOptions {
+                branch_order: Some(vec![z, y, x]),
+                ..SolveOptions::default()
+            },
         );
         assert_eq!(r.status, Status::Optimal);
         assert!((r.solution.unwrap().objective - 7.0).abs() < 1e-6);
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs mirror the a[i][t] grid
     fn equality_heavy_scheduling_shape() {
         // A miniature a[i][t] shape: 3 ops × 3 slots, each op in exactly one
         // slot, at most 2 ops per slot, minimize weighted slot use.

@@ -81,7 +81,12 @@ pub struct Model {
 impl Model {
     /// Create an empty model.
     pub fn new(sense: Sense) -> Model {
-        Model { sense, vars: Vec::new(), constraints: Vec::new(), objective: Vec::new() }
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+        }
     }
 
     /// Add a continuous variable `x ≥ 0`.
@@ -101,8 +106,17 @@ impl Model {
 
     fn var(&mut self, name: &str, kind: VarKind) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        let upper = if kind == VarKind::Binary { 1.0 } else { f64::INFINITY };
-        self.vars.push(VarDef { name: name.to_owned(), kind, lower: 0.0, upper });
+        let upper = if kind == VarKind::Binary {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        self.vars.push(VarDef {
+            name: name.to_owned(),
+            kind,
+            lower: 0.0,
+            upper,
+        });
         id
     }
 
@@ -150,7 +164,10 @@ impl Model {
     fn add<I: IntoIterator<Item = (VarId, f64)>>(&mut self, terms: I, op: ConstraintOp, rhs: f64) {
         let terms = accumulate(terms);
         for &(v, _) in &terms {
-            assert!(v.index() < self.vars.len(), "constraint uses unknown variable");
+            assert!(
+                v.index() < self.vars.len(),
+                "constraint uses unknown variable"
+            );
         }
         self.constraints.push(Constraint { terms, op, rhs });
     }

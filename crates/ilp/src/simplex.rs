@@ -88,7 +88,11 @@ pub(crate) fn solve_lp_with_bounds(
                 }
             }
         }
-        rows.push(Row { terms, op: c.op, rhs });
+        rows.push(Row {
+            terms,
+            op: c.op,
+            rhs,
+        });
     }
     for j in 0..n {
         if fixed[j].is_some() || !upper[j].is_finite() {
@@ -97,7 +101,11 @@ pub(crate) fn solve_lp_with_bounds(
         if implied[j] && lower[j] <= EPS && (upper[j] - 1.0).abs() <= EPS {
             continue; // Σ x = 1 row already caps this binary
         }
-        rows.push(Row { terms: vec![(j, 1.0)], op: ConstraintOp::Le, rhs: upper[j] - lower[j] });
+        rows.push(Row {
+            terms: vec![(j, 1.0)],
+            op: ConstraintOp::Le,
+            rhs: upper[j] - lower[j],
+        });
     }
 
     // Check trivially-contradictory empty rows.
@@ -132,7 +140,11 @@ pub(crate) fn solve_lp_with_bounds(
         // Unconstrained: optimum at the shifted origin unless the objective
         // improves without bound along some free column.
         let mut values: Vec<f64> = (0..n).map(|j| fixed[j].unwrap_or(lower[j])).collect();
-        let dir = if model.sense == Sense::Maximize { 1.0 } else { -1.0 };
+        let dir = if model.sense == Sense::Maximize {
+            1.0
+        } else {
+            -1.0
+        };
         for &(v, c) in &model.objective {
             if fixed[v.index()].is_none() && c * dir > EPS && !upper[v.index()].is_finite() {
                 return LpOutcome::Unbounded;
@@ -141,7 +153,11 @@ pub(crate) fn solve_lp_with_bounds(
                 values[v.index()] = upper[v.index()];
             }
         }
-        let objective = model.objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
+        let objective = model
+            .objective
+            .iter()
+            .map(|&(v, c)| c * values[v.index()])
+            .sum();
         return LpOutcome::Optimal(LpSolution { objective, values });
     }
 
@@ -211,7 +227,9 @@ pub(crate) fn solve_lp_with_bounds(
                 }
             }
         }
-        match run_simplex(&mut t, &mut basis, m, ncols, width, ncols, max_iters, deadline) {
+        match run_simplex(
+            &mut t, &mut basis, m, ncols, width, ncols, max_iters, deadline,
+        ) {
             SimplexEnd::Optimal => {}
             SimplexEnd::Unbounded => return LpOutcome::Infeasible, // phase 1 is bounded below
             SimplexEnd::IterLimit => return LpOutcome::IterLimit,
@@ -243,7 +261,11 @@ pub(crate) fn solve_lp_with_bounds(
     for c in 0..width {
         t[m * width + c] = 0.0;
     }
-    let flip = if model.sense == Sense::Maximize { -1.0 } else { 1.0 };
+    let flip = if model.sense == Sense::Maximize {
+        -1.0
+    } else {
+        1.0
+    };
     for &(v, c) in &model.objective {
         let j = v.index();
         if fixed[j].is_none() {
@@ -261,7 +283,9 @@ pub(crate) fn solve_lp_with_bounds(
             }
         }
     }
-    match run_simplex(&mut t, &mut basis, m, ncols, width, art_start, max_iters, deadline) {
+    match run_simplex(
+        &mut t, &mut basis, m, ncols, width, art_start, max_iters, deadline,
+    ) {
         SimplexEnd::Optimal => {}
         SimplexEnd::Unbounded => return LpOutcome::Unbounded,
         SimplexEnd::IterLimit => return LpOutcome::IterLimit,
@@ -281,7 +305,11 @@ pub(crate) fn solve_lp_with_bounds(
             None => lower[j] + xprime[col_of[j]].max(0.0),
         };
     }
-    let objective = model.objective.iter().map(|&(v, c)| c * values[v.index()]).sum();
+    let objective = model
+        .objective
+        .iter()
+        .map(|&(v, c)| c * values[v.index()])
+        .sum();
     LpOutcome::Optimal(LpSolution { objective, values })
 }
 
@@ -348,9 +376,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = t[i * width + ncols] / a;
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave != usize::MAX
-                        && basis[i] < basis[leave]);
+                    || (ratio < best_ratio + EPS && leave != usize::MAX && basis[i] < basis[leave]);
                 if leave == usize::MAX || better {
                     best_ratio = ratio;
                     leave = i;
@@ -489,7 +515,12 @@ mod tests {
         let y = m.continuous("y");
         m.set_objective([(y, 1.0)]);
         m.add_ge([(x, 2.0), (y, 1.0)], 3.0);
-        let s = opt(solve_lp_with_bounds(&m, &[1.0, 0.0], &[1.0, f64::INFINITY], None));
+        let s = opt(solve_lp_with_bounds(
+            &m,
+            &[1.0, 0.0],
+            &[1.0, f64::INFINITY],
+            None,
+        ));
         assert!((s.values[x.index()] - 1.0).abs() < 1e-9);
         assert!((s.values[y.index()] - 1.0).abs() < 1e-6);
     }

@@ -72,7 +72,11 @@ impl LoopBuilder {
     /// 16-byte bank period (controls which bank element 0 hits).
     pub fn array_aligned(&mut self, name: &str, elem_bytes: u32, base_align: u64) -> ArrayId {
         let id = ArrayId(self.arrays.len() as u32);
-        self.arrays.push(ArrayInfo { name: name.to_owned(), elem_bytes, base_align });
+        self.arrays.push(ArrayInfo {
+            name: name.to_owned(),
+            elem_bytes,
+            base_align,
+        });
         id
     }
 
@@ -89,7 +93,11 @@ impl LoopBuilder {
     /// Declare a loop invariant of the given class.
     pub fn invariant(&mut self, name: &str, class: RegClass) -> ValueId {
         let id = ValueId(self.values.len() as u32);
-        self.values.push(ValueInfo { class, def: None, name: name.to_owned() });
+        self.values.push(ValueInfo {
+            class,
+            def: None,
+            name: name.to_owned(),
+        });
         id
     }
 
@@ -144,37 +152,84 @@ impl LoopBuilder {
 
     /// Emit a load from `array` at `offset + stride*i` bytes.
     pub fn load(&mut self, array: ArrayId, offset: i64, stride: i64) -> ValueId {
-        let mem = MemAccess { array, offset, stride, indirect: false };
+        let mem = MemAccess {
+            array,
+            offset,
+            stride,
+            indirect: false,
+        };
         self.push_mem_load(mem, &[])
     }
 
     /// Emit an integer load (e.g. of an index array).
     pub fn load_i(&mut self, array: ArrayId, offset: i64, stride: i64) -> ValueId {
-        let mem = MemAccess { array, offset, stride, indirect: false };
+        let mem = MemAccess {
+            array,
+            offset,
+            stride,
+            indirect: false,
+        };
         let ops: Vec<Operand> = Vec::new();
-        self.push(OpClass::Load, Sem::Load, Some(RegClass::Int), ops, Some(mem))
+        self.push(
+            OpClass::Load,
+            Sem::Load,
+            Some(RegClass::Int),
+            ops,
+            Some(mem),
+        )
     }
 
     /// Emit an indirect load `array[idx]` where `idx` is a loop value.
     pub fn load_indirect(&mut self, array: ArrayId, idx: ValueId) -> ValueId {
-        let mem = MemAccess { array, offset: 0, stride: 0, indirect: true };
+        let mem = MemAccess {
+            array,
+            offset: 0,
+            stride: 0,
+            indirect: true,
+        };
         self.push_mem_load(mem, &[Operand::now(idx)])
     }
 
     fn push_mem_load(&mut self, mem: MemAccess, extra: &[Operand]) -> ValueId {
-        self.push(OpClass::Load, Sem::Load, Some(RegClass::Float), extra.to_vec(), Some(mem))
+        self.push(
+            OpClass::Load,
+            Sem::Load,
+            Some(RegClass::Float),
+            extra.to_vec(),
+            Some(mem),
+        )
     }
 
     /// Emit a store of `value` to `array` at `offset + stride*i` bytes.
     pub fn store(&mut self, array: ArrayId, offset: i64, stride: i64, value: ValueId) {
-        let mem = MemAccess { array, offset, stride, indirect: false };
-        self.push_void(OpClass::Store, Sem::Store, vec![Operand::now(value)], Some(mem));
+        let mem = MemAccess {
+            array,
+            offset,
+            stride,
+            indirect: false,
+        };
+        self.push_void(
+            OpClass::Store,
+            Sem::Store,
+            vec![Operand::now(value)],
+            Some(mem),
+        );
     }
 
     /// Emit an indirect store `array[idx] = value`.
     pub fn store_indirect(&mut self, array: ArrayId, idx: ValueId, value: ValueId) {
-        let mem = MemAccess { array, offset: 0, stride: 0, indirect: true };
-        self.push_void(OpClass::Store, Sem::Store, vec![Operand::now(idx), Operand::now(value)], Some(mem));
+        let mem = MemAccess {
+            array,
+            offset: 0,
+            stride: 0,
+            indirect: true,
+        };
+        self.push_void(
+            OpClass::Store,
+            Sem::Store,
+            vec![Operand::now(idx), Operand::now(value)],
+            Some(mem),
+        );
     }
 
     /// Emit a floating-point add.
@@ -210,7 +265,13 @@ impl LoopBuilder {
 
     /// Emit a floating-point square root (unpipelined on the R8000).
     pub fn fsqrt(&mut self, a: ValueId) -> ValueId {
-        self.push(OpClass::FSqrt, Sem::Sqrt, Some(RegClass::Float), vec![Operand::now(a)], None)
+        self.push(
+            OpClass::FSqrt,
+            Sem::Sqrt,
+            Some(RegClass::Float),
+            vec![Operand::now(a)],
+            None,
+        )
     }
 
     /// Emit a floating-point compare producing a condition value.
@@ -256,13 +317,25 @@ impl LoopBuilder {
     /// modeled as an integer-ALU op — the move-from-FP + truncate pair a
     /// MIPS compiler emits for computed subscripts.
     pub fn ftoi(&mut self, a: ValueId) -> ValueId {
-        self.push(OpClass::IntAlu, Sem::Copy, Some(RegClass::Int), vec![Operand::now(a)], None)
+        self.push(
+            OpClass::IntAlu,
+            Sem::Copy,
+            Some(RegClass::Int),
+            vec![Operand::now(a)],
+            None,
+        )
     }
 
     /// Emit a register copy.
     pub fn copy(&mut self, a: ValueId) -> ValueId {
         let class = self.values[a.index()].class;
-        self.push(OpClass::Copy, Sem::Copy, Some(class), vec![Operand::now(a)], None)
+        self.push(
+            OpClass::Copy,
+            Sem::Copy,
+            Some(class),
+            vec![Operand::now(a)],
+            None,
+        )
     }
 
     /// Emit an op with explicit carried operands. Most callers can use the
@@ -310,13 +383,33 @@ impl LoopBuilder {
             def: Some(id),
             name: format!("v{}", result.0),
         });
-        self.ops.push(Op { id, class, sem, result: Some(result), operands, mem });
+        self.ops.push(Op {
+            id,
+            class,
+            sem,
+            result: Some(result),
+            operands,
+            mem,
+        });
         result
     }
 
-    fn push_void(&mut self, class: OpClass, sem: Sem, operands: Vec<Operand>, mem: Option<MemAccess>) {
+    fn push_void(
+        &mut self,
+        class: OpClass,
+        sem: Sem,
+        operands: Vec<Operand>,
+        mem: Option<MemAccess>,
+    ) {
         let id = OpId(self.ops.len() as u32);
-        self.ops.push(Op { id, class, sem, result: None, operands, mem });
+        self.ops.push(Op {
+            id,
+            class,
+            sem,
+            result: None,
+            operands,
+            mem,
+        });
     }
 
     /// Number of operations emitted so far.

@@ -121,7 +121,16 @@ impl Ddg {
 
         let (sccs, scc_of) = tarjan(n, &edges, &succs);
         let res_mii = machine.res_mii(&lp.class_counts());
-        let mut ddg = Ddg { n, edges, succs, preds, sccs, scc_of, res_mii, rec_mii: 1 };
+        let mut ddg = Ddg {
+            n,
+            edges,
+            succs,
+            preds,
+            sccs,
+            scc_of,
+            res_mii,
+            rec_mii: 1,
+        };
         ddg.rec_mii = ddg.compute_rec_mii();
         ddg
     }
@@ -275,7 +284,14 @@ fn tarjan(n: usize, edges: &[DepEdge], succs: &[Vec<usize>]) -> (Vec<Scc>, Vec<S
         lowlink: i64,
         on_stack: bool,
     }
-    let mut state = vec![NodeState { index: -1, lowlink: -1, on_stack: false }; n];
+    let mut state = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut next_index = 0i64;
     let mut sccs: Vec<Scc> = Vec::new();
@@ -317,9 +333,13 @@ fn tarjan(n: usize, edges: &[DepEdge], succs: &[Vec<usize>]) -> (Vec<Scc>, Vec<S
                         }
                     }
                     members.sort_unstable();
-                    let nontrivial = members.len() > 1
-                        || succs[v].iter().any(|&ei| edges[ei].to.index() == v);
-                    sccs.push(Scc { id: SccId(sccs.len() as u32), members, nontrivial });
+                    let nontrivial =
+                        members.len() > 1 || succs[v].iter().any(|&ei| edges[ei].to.index() == v);
+                    sccs.push(Scc {
+                        id: SccId(sccs.len() as u32),
+                        members,
+                        nontrivial,
+                    });
                 }
                 dfs.pop();
                 if let Some(&mut (u, _)) = dfs.last_mut() {

@@ -108,7 +108,13 @@ fn edge(from: &Op, to: &Op, distance: u32, kind: DepKind) -> DepEdge {
         DepKind::MemOutput => MEM_OUTPUT_LATENCY,
         DepKind::Data(_) => unreachable!("data deps are not built here"),
     };
-    DepEdge { from: from.id, to: to.id, latency, distance, kind }
+    DepEdge {
+        from: from.id,
+        to: to.id,
+        latency,
+        distance,
+        kind,
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +180,9 @@ mod tests {
         // load<->store serialized both directions (0 and 1), plus the
         // store's self output dependence.
         assert_eq!(deps.len(), 3);
-        assert!(deps.iter().any(|e| e.kind == DepKind::MemOutput && e.from == e.to));
+        assert!(deps
+            .iter()
+            .any(|e| e.kind == DepKind::MemOutput && e.from == e.to));
     }
 
     #[test]

@@ -69,10 +69,17 @@ pub enum HExpr {
     Select(Box<HExpr>, Box<HExpr>, Box<HExpr>),
 }
 
+// `add`/`sub`/`mul`/`div` are tree *constructors* (no receiver), not the
+// arithmetic the std operator traits describe.
+#[allow(clippy::should_implement_trait)]
 impl HExpr {
     /// Affine load constructor.
     pub fn load(array: &str, offset: i64, stride: i64) -> HExpr {
-        HExpr::Load { array: array.to_owned(), offset, stride }
+        HExpr::Load {
+            array: array.to_owned(),
+            offset,
+            stride,
+        }
     }
 
     /// Invariant read constructor.
@@ -164,12 +171,21 @@ impl HStmt {
 
     /// `array[offset + stride·i] = value`.
     pub fn store(array: &str, offset: i64, stride: i64, value: HExpr) -> HStmt {
-        HStmt::Store { array: array.to_owned(), offset, stride, value }
+        HStmt::Store {
+            array: array.to_owned(),
+            offset,
+            stride,
+            value,
+        }
     }
 
     /// `if cond { then_s } else { else_s }`.
     pub fn if_(cond: HExpr, then_s: Vec<HStmt>, else_s: Vec<HStmt>) -> HStmt {
-        HStmt::If { cond, then_s, else_s }
+        HStmt::If {
+            cond,
+            then_s,
+            else_s,
+        }
     }
 }
 
@@ -184,7 +200,11 @@ pub struct HirLoop {
 impl HirLoop {
     /// Create a loop over double-precision (8-byte) arrays.
     pub fn new(name: &str, stmts: Vec<HStmt>) -> HirLoop {
-        HirLoop { name: name.to_owned(), stmts, elem_bytes: 8 }
+        HirLoop {
+            name: name.to_owned(),
+            stmts,
+            elem_bytes: 8,
+        }
     }
 
     /// Override the array element size (4 = single precision).
@@ -244,7 +264,11 @@ impl LowerCx {
 
     fn expr(&mut self, e: &HExpr) -> ValueId {
         match e {
-            HExpr::Load { array, offset, stride } => {
+            HExpr::Load {
+                array,
+                offset,
+                stride,
+            } => {
                 let a = self.array(array);
                 self.b.load(a, *offset, *stride)
             }
@@ -305,7 +329,10 @@ impl LowerCx {
             let handle = self.b.carried_f(name);
             self.carried.insert(
                 name.to_owned(),
-                CarriedState { handle, current: handle.value() },
+                CarriedState {
+                    handle,
+                    current: handle.value(),
+                },
             );
         }
     }
@@ -327,12 +354,21 @@ impl LowerCx {
                 self.carried_state(name);
                 self.carried.get_mut(name).expect("just ensured").current = v;
             }
-            HStmt::Store { array, offset, stride, value } => {
+            HStmt::Store {
+                array,
+                offset,
+                stride,
+                value,
+            } => {
                 let v = self.expr(value);
                 let a = self.array(array);
                 self.b.store(a, *offset, *stride, v);
             }
-            HStmt::If { cond, then_s, else_s } => self.if_convert(cond, then_s, else_s),
+            HStmt::If {
+                cond,
+                then_s,
+                else_s,
+            } => self.if_convert(cond, then_s, else_s),
         }
     }
 
@@ -342,25 +378,37 @@ impl LowerCx {
         let c = self.expr(cond);
 
         let locals_before = self.locals.clone();
-        let carried_before: HashMap<String, ValueId> =
-            self.carried.iter().map(|(k, v)| (k.clone(), v.current)).collect();
+        let carried_before: HashMap<String, ValueId> = self
+            .carried
+            .iter()
+            .map(|(k, v)| (k.clone(), v.current))
+            .collect();
 
         let mut then_stores = Vec::new();
         self.branch(then_s, &mut then_stores);
         let locals_then = std::mem::replace(&mut self.locals, locals_before.clone());
-        let carried_then: HashMap<String, ValueId> =
-            self.carried.iter().map(|(k, v)| (k.clone(), v.current)).collect();
+        let carried_then: HashMap<String, ValueId> = self
+            .carried
+            .iter()
+            .map(|(k, v)| (k.clone(), v.current))
+            .collect();
         // Reset carried currents: pre-branch value, or the placeholder for
         // variables first mentioned inside the branch.
         for (k, st) in self.carried.iter_mut() {
-            st.current = carried_before.get(k).copied().unwrap_or_else(|| st.handle.value());
+            st.current = carried_before
+                .get(k)
+                .copied()
+                .unwrap_or_else(|| st.handle.value());
         }
 
         let mut else_stores = Vec::new();
         self.branch(else_s, &mut else_stores);
         let locals_else = std::mem::replace(&mut self.locals, locals_before.clone());
-        let carried_else: HashMap<String, ValueId> =
-            self.carried.iter().map(|(k, v)| (k.clone(), v.current)).collect();
+        let carried_else: HashMap<String, ValueId> = self
+            .carried
+            .iter()
+            .map(|(k, v)| (k.clone(), v.current))
+            .collect();
 
         // Merge locals.
         let mut names: Vec<&String> = locals_then.keys().chain(locals_else.keys()).collect();
@@ -377,13 +425,21 @@ impl LowerCx {
                     let p = prior.unwrap_or_else(|| {
                         panic!("local `{name}` set only in then-branch with no prior binding")
                     });
-                    if t == p { p } else { self.b.cmov(c, t, p) }
+                    if t == p {
+                        p
+                    } else {
+                        self.b.cmov(c, t, p)
+                    }
                 }
                 (None, Some(e)) => {
                     let p = prior.unwrap_or_else(|| {
                         panic!("local `{name}` set only in else-branch with no prior binding")
                     });
-                    if e == p { p } else { self.b.cmov(c, p, e) }
+                    if e == p {
+                        p
+                    } else {
+                        self.b.cmov(c, p, e)
+                    }
                 }
                 (None, None) => continue,
             };
@@ -407,7 +463,10 @@ impl LowerCx {
             let e = carried_else.get(&name).copied().unwrap_or(prior);
             if t != e {
                 let merged = self.b.cmov(c, t, e);
-                self.carried.get_mut(&name).expect("carried persists").current = merged;
+                self.carried
+                    .get_mut(&name)
+                    .expect("carried persists")
+                    .current = merged;
             }
         }
 
@@ -431,7 +490,11 @@ impl LowerCx {
             let aid = self.array(&array);
             let value = match (tv, ev) {
                 (Some(t), Some(e)) => {
-                    if t == e { t } else { self.b.cmov(c, t, e) }
+                    if t == e {
+                        t
+                    } else {
+                        self.b.cmov(c, t, e)
+                    }
                 }
                 (Some(t), None) => {
                     let cur = self.b.load(aid, offset, stride);
@@ -451,11 +514,20 @@ impl LowerCx {
     fn branch(&mut self, stmts: &[HStmt], stores: &mut Vec<(String, i64, i64, ValueId)>) {
         for s in stmts {
             match s {
-                HStmt::Store { array, offset, stride, value } => {
+                HStmt::Store {
+                    array,
+                    offset,
+                    stride,
+                    value,
+                } => {
                     let v = self.expr(value);
                     stores.push((array.clone(), *offset, *stride, v));
                 }
-                HStmt::If { cond, then_s, else_s } => {
+                HStmt::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     // Nested ifs inside a branch: recursively if-convert;
                     // their stores become unconditional within this branch
                     // and are then guarded by the outer merge only if the
@@ -482,12 +554,19 @@ mod tests {
                 "y",
                 0,
                 8,
-                HExpr::madd(HExpr::invariant("a"), HExpr::load("x", 0, 8), HExpr::load("y", 0, 8)),
+                HExpr::madd(
+                    HExpr::invariant("a"),
+                    HExpr::load("x", 0, 8),
+                    HExpr::load("y", 0, 8),
+                ),
             )],
         )
         .lower();
         assert!(lp.ops().iter().all(|o| o.class != OpClass::CMov));
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::Load).count(), 2);
+        assert_eq!(
+            lp.ops().iter().filter(|o| o.class == OpClass::Load).count(),
+            2
+        );
     }
 
     #[test]
@@ -498,15 +577,24 @@ mod tests {
             vec![
                 HStmt::if_(
                     HExpr::lt(x.clone(), HExpr::invariant("zero")),
-                    vec![HStmt::let_("r", HExpr::sub(HExpr::invariant("zero"), x.clone()))],
+                    vec![HStmt::let_(
+                        "r",
+                        HExpr::sub(HExpr::invariant("zero"), x.clone()),
+                    )],
                     vec![HStmt::let_("r", x)],
                 ),
                 HStmt::store("y", 0, 8, HExpr::local("r")),
             ],
         )
         .lower();
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::CMov).count(), 1);
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::FCmp).count(), 1);
+        assert_eq!(
+            lp.ops().iter().filter(|o| o.class == OpClass::CMov).count(),
+            1
+        );
+        assert_eq!(
+            lp.ops().iter().filter(|o| o.class == OpClass::FCmp).count(),
+            1
+        );
     }
 
     #[test]
@@ -521,9 +609,21 @@ mod tests {
         )
         .lower();
         // A load of y is inserted to supply the not-taken value.
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::Load).count(), 2);
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::CMov).count(), 1);
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::Store).count(), 1);
+        assert_eq!(
+            lp.ops().iter().filter(|o| o.class == OpClass::Load).count(),
+            2
+        );
+        assert_eq!(
+            lp.ops().iter().filter(|o| o.class == OpClass::CMov).count(),
+            1
+        );
+        assert_eq!(
+            lp.ops()
+                .iter()
+                .filter(|o| o.class == OpClass::Store)
+                .count(),
+            1
+        );
     }
 
     #[test]

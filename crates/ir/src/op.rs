@@ -300,7 +300,10 @@ impl Loop {
                 }
                 let info = &self.values[operand.value.index()];
                 if info.is_invariant() && operand.distance != 0 {
-                    return Err(format!("op {i} carried use of invariant {:?}", operand.value));
+                    return Err(format!(
+                        "op {i} carried use of invariant {:?}",
+                        operand.value
+                    ));
                 }
             }
             if op.class.is_memory() != op.mem.is_some() {
@@ -313,7 +316,9 @@ impl Loop {
         for (v, info) in self.values.iter().enumerate() {
             if let Some(d) = info.def {
                 if self.ops.get(d.index()).and_then(|o| o.result) != Some(ValueId(v as u32)) {
-                    return Err(format!("value {v} claims def {d:?} which does not define it"));
+                    return Err(format!(
+                        "value {v} claims def {d:?} which does not define it"
+                    ));
                 }
             }
         }

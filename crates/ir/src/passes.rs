@@ -20,9 +20,10 @@ use swp_machine::OpClass;
 /// distances), and memory descriptors. Identical affine loads merge too —
 /// stores never do. Runs to a fixpoint; returns the number of ops removed.
 pub fn cse(lp: &mut Loop) -> usize {
+    type CseKey = (OpClass, Sem, Vec<Operand>, Option<[i64; 4]>);
     let mut removed_total = 0;
     loop {
-        let mut seen: HashMap<(OpClass, Sem, Vec<Operand>, Option<[i64; 4]>), ValueId> = HashMap::new();
+        let mut seen: HashMap<CseKey, ValueId> = HashMap::new();
         let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
         let mut dead: Vec<OpId> = Vec::new();
         for op in lp.ops() {
@@ -34,10 +35,9 @@ pub fn cse(lp: &mut Loop) -> usize {
             }
             // Loads are only safe to merge when nothing stores to the array.
             if let Some(m) = op.mem {
-                let stores = lp
-                    .ops()
-                    .iter()
-                    .any(|o| o.class == OpClass::Store && o.mem.is_some_and(|sm| sm.array == m.array));
+                let stores = lp.ops().iter().any(|o| {
+                    o.class == OpClass::Store && o.mem.is_some_and(|sm| sm.array == m.array)
+                });
                 if stores {
                     continue;
                 }
@@ -46,7 +46,8 @@ pub fn cse(lp: &mut Loop) -> usize {
                 op.class,
                 op.sem,
                 op.operands.clone(),
-                op.mem.map(|m| [m.array.0 as i64, m.offset, m.stride, i64::from(m.indirect)]),
+                op.mem
+                    .map(|m| [m.array.0 as i64, m.offset, m.stride, i64::from(m.indirect)]),
             );
             match seen.get(&key) {
                 Some(&prev) => {
@@ -119,7 +120,7 @@ pub fn eliminate_common_loads(lp: &mut Loop) -> usize {
                 continue;
             }
             let d = diff / ma.stride;
-            if d >= 1 && d <= MAX_REUSE_DISTANCE && best.is_none_or(|(_, bd)| d < bd) {
+            if (1..=MAX_REUSE_DISTANCE).contains(&d) && best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((a.result.expect("load result"), d));
             }
         }
@@ -231,7 +232,10 @@ pub fn unroll(lp: &Loop, k: u32, interleave: &[ValueId]) -> Loop {
                 let t = j as i64 - d;
                 let jj = t.rem_euclid(k as i64) as u32;
                 let nd = ((d - j as i64 + i64::from(jj)) / k as i64) as u32;
-                operands.push(Operand { value: value_map[&(operand.value, jj)], distance: nd });
+                operands.push(Operand {
+                    value: value_map[&(operand.value, jj)],
+                    distance: nd,
+                });
             }
             let mem = op.mem.map(|m| {
                 if m.indirect {
@@ -301,8 +305,13 @@ pub fn interleave_reduction(lp: &Loop, k: u32) -> (Loop, usize) {
 pub fn spill_to_memory(lp: &Loop, values: &[ValueId]) -> Loop {
     let mut out = lp.clone();
     for &v in values {
-        let Some(def_op) = out.values[v.index()].def else { continue };
-        let used = out.ops.iter().any(|o| o.operands.iter().any(|operand| operand.value == v));
+        let Some(def_op) = out.values[v.index()].def else {
+            continue;
+        };
+        let used = out
+            .ops
+            .iter()
+            .any(|o| o.operands.iter().any(|operand| operand.value == v));
         if !used {
             continue;
         }
@@ -384,8 +393,8 @@ pub fn spill_to_memory(lp: &Loop, values: &[ValueId]) -> Loop {
         // which itself reads `d` iterations back through memory) — except
         // the spill store's own read of `v`.
         for op in &mut new_ops {
-            let is_spill_store = op.class == OpClass::Store
-                && op.mem.is_some_and(|m| m.array == slot);
+            let is_spill_store =
+                op.class == OpClass::Store && op.mem.is_some_and(|m| m.array == slot);
             if is_spill_store {
                 continue;
             }
@@ -490,9 +499,16 @@ mod tests {
         assert_eq!(eliminate_common_loads(&mut lp), 1);
         assert!(lp.validate().is_ok());
         // The add now uses the surviving load at distance 1.
-        let add = lp.ops().iter().find(|o| o.class == OpClass::FAdd).expect("add");
+        let add = lp
+            .ops()
+            .iter()
+            .find(|o| o.class == OpClass::FAdd)
+            .expect("add");
         assert!(add.operands.iter().any(|o| o.distance == 1));
-        assert_eq!(lp.ops().iter().filter(|o| o.class == OpClass::Load).count(), 1);
+        assert_eq!(
+            lp.ops().iter().filter(|o| o.class == OpClass::Load).count(),
+            1
+        );
     }
 
     #[test]
@@ -504,7 +520,11 @@ mod tests {
         b.store(y, 0, 8, v);
         let lp = unroll(&b.finish(), 4, &[]);
         assert_eq!(lp.len(), 8);
-        let loads: Vec<_> = lp.ops().iter().filter(|o| o.class == OpClass::Load).collect();
+        let loads: Vec<_> = lp
+            .ops()
+            .iter()
+            .filter(|o| o.class == OpClass::Load)
+            .collect();
         assert_eq!(loads.len(), 4);
         for (j, l) in loads.iter().enumerate() {
             let m = l.mem.expect("load");
@@ -525,7 +545,11 @@ mod tests {
         let s1 = b.fadd(s.value(), v);
         b.close(s, s1, 1);
         let lp = unroll(&b.finish(), 3, &[]);
-        let adds: Vec<_> = lp.ops().iter().filter(|o| o.class == OpClass::FAdd).collect();
+        let adds: Vec<_> = lp
+            .ops()
+            .iter()
+            .filter(|o| o.class == OpClass::FAdd)
+            .collect();
         assert_eq!(adds.len(), 3);
         assert_eq!(adds[0].operands[0].distance, 1);
         assert_eq!(adds[1].operands[0].distance, 0);
@@ -572,15 +596,27 @@ mod tests {
         assert!(spilled.validate().is_ok());
         // One extra store and one reload (single distance 0).
         assert_eq!(
-            spilled.ops().iter().filter(|o| o.class == OpClass::Store).count(),
+            spilled
+                .ops()
+                .iter()
+                .filter(|o| o.class == OpClass::Store)
+                .count(),
             2
         );
         assert_eq!(
-            spilled.ops().iter().filter(|o| o.class == OpClass::Load).count(),
+            spilled
+                .ops()
+                .iter()
+                .filter(|o| o.class == OpClass::Load)
+                .count(),
             2
         );
         // The fadd no longer reads w directly.
-        let add = spilled.ops().iter().find(|o| o.class == OpClass::FAdd).expect("fadd");
+        let add = spilled
+            .ops()
+            .iter()
+            .find(|o| o.class == OpClass::FAdd)
+            .expect("fadd");
         assert!(add.operands.iter().all(|operand| operand.value != w));
     }
 

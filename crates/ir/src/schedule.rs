@@ -71,11 +71,21 @@ impl std::fmt::Display for ScheduleError {
                 write!(f, "schedule has {actual} times for {expected} ops")
             }
             ScheduleError::NegativeTime(op) => write!(f, "op {op:?} scheduled before cycle 0"),
-            ScheduleError::Dependence { from, to, needed, actual } => write!(
+            ScheduleError::Dependence {
+                from,
+                to,
+                needed,
+                actual,
+            } => write!(
                 f,
                 "dependence {from:?}→{to:?} violated: separation {actual} < {needed}"
             ),
-            ScheduleError::Resource { row, class, used, units } => {
+            ScheduleError::Resource {
+                row,
+                class,
+                used,
+                units,
+            } => {
                 write!(f, "row {row} uses {used} {class} units of {units}")
             }
         }
@@ -137,7 +147,10 @@ impl Schedule {
     /// Returns the first violated constraint.
     pub fn validate(&self, lp: &Loop, ddg: &Ddg, machine: &Machine) -> Result<(), ScheduleError> {
         if self.times.len() != lp.len() {
-            return Err(ScheduleError::WrongLength { expected: lp.len(), actual: self.times.len() });
+            return Err(ScheduleError::WrongLength {
+                expected: lp.len(),
+                actual: self.times.len(),
+            });
         }
         for op in lp.ops() {
             if self.time(op.id) < 0 {
@@ -149,7 +162,12 @@ impl Schedule {
             let needed = e.latency - ii * i64::from(e.distance);
             let actual = self.time(e.to) - self.time(e.from);
             if actual < needed {
-                return Err(ScheduleError::Dependence { from: e.from, to: e.to, needed, actual });
+                return Err(ScheduleError::Dependence {
+                    from: e.from,
+                    to: e.to,
+                    needed,
+                    actual,
+                });
             }
         }
         // Modulo reservation table.
@@ -157,8 +175,7 @@ impl Schedule {
         for op in lp.ops() {
             for r in machine.reservations(op.class) {
                 for d in 0..r.duration {
-                    let row =
-                        ((self.time(op.id) + i64::from(d)).rem_euclid(ii)) as usize;
+                    let row = ((self.time(op.id) + i64::from(d)).rem_euclid(ii)) as usize;
                     table[row][r.class.index()] += 1;
                 }
             }
@@ -168,7 +185,12 @@ impl Schedule {
                 let used = counts[class.index()];
                 let units = machine.units(class);
                 if used > units {
-                    return Err(ScheduleError::Resource { row: row as u32, class, used, units });
+                    return Err(ScheduleError::Resource {
+                        row: row as u32,
+                        class,
+                        used,
+                        units,
+                    });
                 }
             }
         }

@@ -24,7 +24,12 @@ pub struct GenParams {
 
 impl Default for GenParams {
     fn default() -> GenParams {
-        GenParams { ops: 30, mem_fraction: 0.3, recurrences: 1, div_fraction: 0.0 }
+        GenParams {
+            ops: 30,
+            mem_fraction: 0.3,
+            recurrences: 1,
+            div_fraction: 0.0,
+        }
     }
 }
 
@@ -114,7 +119,13 @@ mod tests {
     fn generated_loops_validate_across_sizes_and_seeds() {
         for &ops in &[10usize, 30, 60, 116] {
             for seed in 0..5 {
-                let lp = random_loop(&GenParams { ops, ..GenParams::default() }, seed);
+                let lp = random_loop(
+                    &GenParams {
+                        ops,
+                        ..GenParams::default()
+                    },
+                    seed,
+                );
                 assert_eq!(lp.validate(), Ok(()), "ops={ops} seed={seed}");
                 assert!(lp.len() >= ops / 2, "ops={ops} got {}", lp.len());
             }
@@ -130,7 +141,14 @@ mod tests {
 
     #[test]
     fn recurrence_count_respected() {
-        let lp = random_loop(&GenParams { recurrences: 3, ops: 40, ..GenParams::default() }, 1);
+        let lp = random_loop(
+            &GenParams {
+                recurrences: 3,
+                ops: 40,
+                ..GenParams::default()
+            },
+            1,
+        );
         let carried_uses = lp
             .ops()
             .iter()

@@ -30,7 +30,13 @@ const W: i64 = 8; // double-precision element size in bytes
 
 fn k(number: u32, name: &'static str, body: Loop, short_trip: u64, long_trip: u64) -> Kernel {
     debug_assert_eq!(body.validate(), Ok(()));
-    Kernel { number, name, body, short_trip, long_trip }
+    Kernel {
+        number,
+        name,
+        body,
+        short_trip,
+        long_trip,
+    }
 }
 
 /// Build all 24 kernels.
@@ -366,8 +372,14 @@ fn k16() -> Loop {
             HStmt::let_("d", HExpr::sub(plan.clone(), zone.clone())),
             HStmt::if_(
                 HExpr::lt(HExpr::local("d"), tst.clone()),
-                vec![HStmt::set_carried("hit", HExpr::add(HExpr::carried("hit"), HExpr::invariant("one")))],
-                vec![HStmt::set_carried("miss", HExpr::add(HExpr::carried("miss"), HExpr::invariant("one")))],
+                vec![HStmt::set_carried(
+                    "hit",
+                    HExpr::add(HExpr::carried("hit"), HExpr::invariant("one")),
+                )],
+                vec![HStmt::set_carried(
+                    "miss",
+                    HExpr::add(HExpr::carried("miss"), HExpr::invariant("one")),
+                )],
             ),
             HStmt::store("r", 0, 8, HExpr::local("d")),
         ],
@@ -386,8 +398,14 @@ fn k17() -> Loop {
             HStmt::let_("scale", HExpr::div(ve3.clone(), vlr.clone())),
             HStmt::if_(
                 HExpr::lt(HExpr::local("scale"), HExpr::invariant("cut")),
-                vec![HStmt::set_carried("xnm", HExpr::mul(vxne.clone(), vlr.clone()))],
-                vec![HStmt::set_carried("xnm", HExpr::madd(HExpr::local("scale"), ve3, vxne))],
+                vec![HStmt::set_carried(
+                    "xnm",
+                    HExpr::mul(vxne.clone(), vlr.clone()),
+                )],
+                vec![HStmt::set_carried(
+                    "xnm",
+                    HExpr::madd(HExpr::local("scale"), ve3, vxne),
+                )],
             ),
             HStmt::store("vxnd", 0, 8, HExpr::carried("xnm")),
         ],
@@ -550,15 +568,20 @@ fn k24() -> Loop {
     let xk = HExpr::load("x", 0, 8);
     let h = HirLoop::new(
         "lk24",
-        vec![HStmt::if_(
-            HExpr::lt(xk.clone(), HExpr::carried("min")),
-            vec![
-                HStmt::set_carried("min", xk),
-                HStmt::set_carried("loc", HExpr::carried("k")),
-            ],
-            vec![],
-        ),
-        HStmt::set_carried("k", HExpr::add(HExpr::carried("k"), HExpr::invariant("one")))],
+        vec![
+            HStmt::if_(
+                HExpr::lt(xk.clone(), HExpr::carried("min")),
+                vec![
+                    HStmt::set_carried("min", xk),
+                    HStmt::set_carried("loc", HExpr::carried("k")),
+                ],
+                vec![],
+            ),
+            HStmt::set_carried(
+                "k",
+                HExpr::add(HExpr::carried("k"), HExpr::invariant("one")),
+            ),
+        ],
     );
     h.lower()
 }
@@ -574,7 +597,13 @@ mod tests {
         let ks = livermore();
         assert_eq!(ks.len(), 24);
         for k in &ks {
-            assert_eq!(k.body.validate(), Ok(()), "kernel {} ({})", k.number, k.name);
+            assert_eq!(
+                k.body.validate(),
+                Ok(()),
+                "kernel {} ({})",
+                k.number,
+                k.name
+            );
             assert!(!k.body.is_empty(), "kernel {}", k.number);
             assert!(k.short_trip < k.long_trip);
         }
@@ -622,7 +651,10 @@ mod tests {
         let ks = livermore();
         for k in ks.iter().filter(|k| [15, 16, 17, 24].contains(&k.number)) {
             assert!(
-                k.body.ops().iter().any(|o| o.class == swp_machine::OpClass::CMov),
+                k.body
+                    .ops()
+                    .iter()
+                    .any(|o| o.class == swp_machine::OpClass::CMov),
                 "kernel {} must contain conditional moves",
                 k.number
             );
@@ -634,7 +666,13 @@ mod tests {
         let m = Machine::r8000();
         for k in livermore() {
             let r = swp_heur::pipeline(&k.body, &m, &swp_heur::HeurOptions::default());
-            assert!(r.is_ok(), "kernel {} ({}) failed: {:?}", k.number, k.name, r.err());
+            assert!(
+                r.is_ok(),
+                "kernel {} ({}) failed: {:?}",
+                k.number,
+                k.name,
+                r.err()
+            );
         }
     }
 }

@@ -47,7 +47,12 @@ impl Suite {
 
 fn wl(name: &str, body: Loop, weight: f64, trip: u64) -> WeightedLoop {
     debug_assert_eq!(body.validate(), Ok(()));
-    WeightedLoop { name: name.to_owned(), body, weight, trip }
+    WeightedLoop {
+        name: name.to_owned(),
+        body,
+        weight,
+        trip,
+    }
 }
 
 const W: i64 = 8;
@@ -98,7 +103,10 @@ fn spice2g6() -> Suite {
 
     Suite {
         name: "spice2g6",
-        loops: vec![wl("sparse_axpy", sparse, 0.6, 24), wl("scan", scan, 0.4, 40)],
+        loops: vec![
+            wl("sparse_axpy", sparse, 0.6, 24),
+            wl("scan", scan, 0.4, 40),
+        ],
     }
 }
 
@@ -113,7 +121,10 @@ fn doduc() -> Suite {
             HStmt::let_("s", HExpr::div(x.clone(), HExpr::invariant("d"))),
             HStmt::if_(
                 HExpr::lt(HExpr::local("s"), HExpr::invariant("lim")),
-                vec![HStmt::let_("r", HExpr::mul(HExpr::local("s"), HExpr::invariant("a")))],
+                vec![HStmt::let_(
+                    "r",
+                    HExpr::mul(HExpr::local("s"), HExpr::invariant("a")),
+                )],
                 vec![HStmt::let_("r", x)],
             ),
             HStmt::store("y", 0, 8, HExpr::local("r")),
@@ -187,7 +198,10 @@ fn mdljdp2() -> Suite {
     b.store(frc, 2 * W, 3 * W, nfz);
     let force = b.finish();
 
-    Suite { name: "mdljdp2", loops: vec![wl("force", force, 1.0, 128)] }
+    Suite {
+        name: "mdljdp2",
+        loops: vec![wl("force", force, 1.0, 128)],
+    }
 }
 
 /// wave5: plasma simulation — several distinct loops (the paper notes no
@@ -319,7 +333,10 @@ fn ora() -> Suite {
     let s2 = b.fsqrt(t3);
     let r = b.fadd(s1, s2);
     b.store(q, 0, W, r);
-    Suite { name: "ora", loops: vec![wl("trace", b.finish(), 1.0, 200)] }
+    Suite {
+        name: "ora",
+        loops: vec![wl("trace", b.finish(), 1.0, 200)],
+    }
 }
 
 /// alvinn: neural-net training — §4.3: "nearly 100% of its time in two
@@ -429,7 +446,10 @@ fn mdljsp2() -> Suite {
     let fx = b.load(frc, 0, 3 * S);
     let nfx = b.fadd(fx, f1);
     b.store(frc, 0, 3 * S, nfx);
-    Suite { name: "mdljsp2", loops: vec![wl("force", b.finish(), 1.0, 128)] }
+    Suite {
+        name: "mdljsp2",
+        loops: vec![wl("force", b.finish(), 1.0, 128)],
+    }
 }
 
 /// swm256: shallow water — wide, fully parallel stencil updates over many
@@ -470,7 +490,10 @@ fn swm256() -> Suite {
     let ke0 = b.fadd(u2, v2);
     let hv = b.fmadd(ke0, fsdx, p0);
     b.store(h, 0, W, hv);
-    Suite { name: "swm256", loops: vec![wl("calc1", b.finish(), 1.0, 256)] }
+    Suite {
+        name: "swm256",
+        loops: vec![wl("calc1", b.finish(), 1.0, 256)],
+    }
 }
 
 /// su2cor: quantum chromodynamics — complex-arithmetic madd pairs (each
@@ -529,7 +552,10 @@ fn hydro2d() -> Suite {
     let dp = b.fsub(pe, p0);
     let f = b.fmadd(avg1, dp, p0);
     b.store(fx, 0, W, f);
-    Suite { name: "hydro2d", loops: vec![wl("flux", b.finish(), 1.0, 400)] }
+    Suite {
+        name: "hydro2d",
+        loops: vec![wl("flux", b.finish(), 1.0, 400)],
+    }
 }
 
 /// nasa7: the seven NASA kernels — represented by its matmul inner loop
@@ -598,7 +624,10 @@ fn fpppp() -> Suite {
     }
     let r = b.fadd(a, c);
     b.store(out, 0, W, r);
-    Suite { name: "fpppp", loops: vec![wl("fock", b.finish(), 1.0, 96)] }
+    Suite {
+        name: "fpppp",
+        loops: vec![wl("fock", b.finish(), 1.0, 96)],
+    }
 }
 
 #[cfg(test)]
@@ -613,7 +642,11 @@ mod tests {
         for s in &suites {
             assert!(!s.loops.is_empty(), "{}", s.name);
             let total: f64 = s.loops.iter().map(|l| l.weight).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{} weights sum to {total}", s.name);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} weights sum to {total}",
+                s.name
+            );
             for l in &s.loops {
                 assert_eq!(l.body.validate(), Ok(()), "{}::{}", s.name, l.name);
             }
@@ -625,7 +658,10 @@ mod tests {
         // §4.3: "it has only 16 memory references out of 95 instructions"
         // and indirection. We demand the same flavor: big body, sparse
         // memory, at least one indirect ref.
-        let s = spec_suites().into_iter().find(|s| s.name == "mdljdp2").expect("present");
+        let s = spec_suites()
+            .into_iter()
+            .find(|s| s.name == "mdljdp2")
+            .expect("present");
         let body = &s.loops[0].body;
         let mem = body.mem_ops().count();
         assert!(body.len() >= 80, "body has {} ops", body.len());
@@ -635,7 +671,10 @@ mod tests {
 
     #[test]
     fn alvinn_is_memory_bound_single_precision() {
-        let s = spec_suites().into_iter().find(|s| s.name == "alvinn").expect("present");
+        let s = spec_suites()
+            .into_iter()
+            .find(|s| s.name == "alvinn")
+            .expect("present");
         for l in &s.loops {
             let mem = l.body.mem_ops().count();
             assert!(mem * 2 >= l.body.len(), "{} is memory bound", l.name);
@@ -659,7 +698,10 @@ mod tests {
 
     #[test]
     fn aggregate_time_weights_correctly() {
-        let s = spec_suites().into_iter().find(|s| s.name == "alvinn").expect("present");
+        let s = spec_suites()
+            .into_iter()
+            .find(|s| s.name == "alvinn")
+            .expect("present");
         let t = s.aggregate_time(&[1280.0, 1280.0]);
         assert!((t - 1.0).abs() < 1e-9, "1 cycle per element → 1.0, got {t}");
     }

@@ -29,7 +29,7 @@ mod ops;
 mod regs;
 
 pub use banks::{Bank, BankModel, Bellows};
-pub use machine::{Machine, MachineBuilder, ResourceClass, Reservation};
+pub use machine::{Machine, MachineBuilder, Reservation, ResourceClass};
 pub use ops::OpClass;
 pub use regs::{RegClass, RegFile};
 

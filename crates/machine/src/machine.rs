@@ -108,7 +108,9 @@ impl Machine {
     /// replaced by an ideal (conflict-free) memory. Used by experiments that
     /// isolate the memory-bank effects (Figures 4 and 5).
     pub fn r8000_unbanked() -> Machine {
-        MachineBuilder::new("r8000-unbanked").banked_memory(false).build()
+        MachineBuilder::new("r8000-unbanked")
+            .banked_memory(false)
+            .build()
     }
 
     /// Machine name (for reports).
@@ -137,8 +139,14 @@ impl Machine {
     pub fn reservations(&self, op: OpClass) -> Vec<Reservation> {
         let pipe = pipe_of(op);
         vec![
-            Reservation { class: ResourceClass::Issue, duration: 1 },
-            Reservation { class: pipe, duration: self.occupancy[op_index(op)] },
+            Reservation {
+                class: ResourceClass::Issue,
+                duration: 1,
+            },
+            Reservation {
+                class: pipe,
+                duration: self.occupancy[op_index(op)],
+            },
         ]
     }
 
@@ -198,13 +206,20 @@ impl fmt::Display for Machine {
             self.units[1],
             self.units[2],
             self.units[3],
-            if self.banks.is_some() { "even/odd" } else { "ideal" }
+            if self.banks.is_some() {
+                "even/odd"
+            } else {
+                "ideal"
+            }
         )
     }
 }
 
 fn op_index(op: OpClass) -> usize {
-    OpClass::ALL.iter().position(|&c| c == op).expect("op class in table")
+    OpClass::ALL
+        .iter()
+        .position(|&c| c == op)
+        .expect("op class in table")
 }
 
 fn pipe_of(op: OpClass) -> ResourceClass {
@@ -249,7 +264,10 @@ impl MachineBuilder {
                 units: [4, 2, 2, 2],
                 latency,
                 occupancy,
-                regs: vec![RegFile::new(RegClass::Float, 32, 31), RegFile::new(RegClass::Int, 32, 24)],
+                regs: vec![
+                    RegFile::new(RegClass::Float, 32, 31),
+                    RegFile::new(RegClass::Int, 32, 24),
+                ],
                 banks: Some(BankModel::r8000()),
             },
         }
@@ -271,7 +289,10 @@ impl MachineBuilder {
     /// [`MachineBuilder::issue_width`]).
     pub fn units(&mut self, class: ResourceClass, n: u32) -> &mut MachineBuilder {
         assert!(n > 0, "unit count must be positive");
-        assert!(class != ResourceClass::Issue, "set issue width via issue_width()");
+        assert!(
+            class != ResourceClass::Issue,
+            "set issue width via issue_width()"
+        );
         self.machine.units[class.index()] = n;
         self
     }
@@ -300,7 +321,11 @@ impl MachineBuilder {
 
     /// Enable or disable the banked memory system.
     pub fn banked_memory(&mut self, enabled: bool) -> &mut MachineBuilder {
-        self.machine.banks = if enabled { Some(BankModel::r8000()) } else { None };
+        self.machine.banks = if enabled {
+            Some(BankModel::r8000())
+        } else {
+            None
+        };
         self
     }
 
@@ -348,7 +373,10 @@ mod tests {
             .occupancy(OpClass::FDiv, 1)
             .build();
         assert_eq!(m.latency(OpClass::Load), 6);
-        assert!(m.reservations(OpClass::FDiv).iter().all(|r| r.duration == 1));
+        assert!(m
+            .reservations(OpClass::FDiv)
+            .iter()
+            .all(|r| r.duration == 1));
     }
 
     #[test]

@@ -119,7 +119,9 @@ mod tests {
     #[test]
     fn classes_partition() {
         for c in OpClass::ALL {
-            let n = usize::from(c.is_memory()) + usize::from(c.is_float()) + usize::from(c.is_integer());
+            let n = usize::from(c.is_memory())
+                + usize::from(c.is_float())
+                + usize::from(c.is_integer());
             assert_eq!(n, 1, "{c} must belong to exactly one pipe class");
         }
     }

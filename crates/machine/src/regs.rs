@@ -42,8 +42,15 @@ impl RegFile {
     ///
     /// Panics if `allocatable > total`.
     pub fn new(class: RegClass, total: u32, allocatable: u32) -> RegFile {
-        assert!(allocatable <= total, "allocatable registers exceed file size");
-        RegFile { class, total, allocatable }
+        assert!(
+            allocatable <= total,
+            "allocatable registers exceed file size"
+        );
+        RegFile {
+            class,
+            total,
+            allocatable,
+        }
     }
 
     /// The class this file holds.

@@ -36,7 +36,11 @@ pub enum Objective {
 
 /// Upper bound on pipeline stages: enough for any schedule worth having.
 fn stage_bound(lp: &Loop, ddg: &Ddg, machine: &Machine, ii: u32) -> f64 {
-    let total_latency: i64 = lp.ops().iter().map(|o| i64::from(machine.latency(o.class))).sum();
+    let total_latency: i64 = lp
+        .ops()
+        .iter()
+        .map(|o| i64::from(machine.latency(o.class)))
+        .sum();
     let _ = ddg;
     ((total_latency / i64::from(ii)) + 2) as f64
 }
@@ -67,7 +71,11 @@ pub fn build_model(
     let iif = f64::from(ii);
 
     let row_vars: Vec<Vec<VarId>> = (0..n)
-        .map(|i| (0..ii).map(|t| model.binary(&format!("a_{i}_{t}"))).collect())
+        .map(|i| {
+            (0..ii)
+                .map(|t| model.binary(&format!("a_{i}_{t}")))
+                .collect()
+        })
         .collect();
     let stage_vars: Vec<VarId> = (0..n).map(|i| model.integer(&format!("k_{i}"))).collect();
 
@@ -113,7 +121,10 @@ pub fn build_model(
             terms.push((v, -(t as f64)));
         }
         terms.push((stage_vars[i], -iif));
-        model.add_ge(terms, (e.latency - i64::from(ii) * i64::from(e.distance)) as f64);
+        model.add_ge(
+            terms,
+            (e.latency - i64::from(ii) * i64::from(e.distance)) as f64,
+        );
     }
 
     // Objective.
@@ -151,7 +162,13 @@ pub fn build_model(
             model.set_objective(obj);
         }
     }
-    SchedulingModel { model, row_vars, stage_vars, buffer_vars, ii }
+    SchedulingModel {
+        model,
+        row_vars,
+        stage_vars,
+        buffer_vars,
+        ii,
+    }
 }
 
 impl SchedulingModel {
@@ -211,7 +228,11 @@ mod tests {
         let sm = build_model(lp, &ddg, &m, ii, Objective::Feasibility);
         let r = solve_ilp(
             &sm.model,
-            &SolveOptions { stop_at_first: true, node_limit: 50_000, ..SolveOptions::default() },
+            &SolveOptions {
+                stop_at_first: true,
+                node_limit: 50_000,
+                ..SolveOptions::default()
+            },
         );
         match r.status {
             Status::Optimal | Status::Feasible => {
@@ -287,7 +308,13 @@ mod tests {
         let ddg = Ddg::build(&lp, &m);
         let ii = ddg.min_ii();
         let sm = build_model(&lp, &ddg, &m, ii, Objective::MinBuffers);
-        let r = solve_ilp(&sm.model, &SolveOptions { node_limit: 100_000, ..SolveOptions::default() });
+        let r = solve_ilp(
+            &sm.model,
+            &SolveOptions {
+                node_limit: 100_000,
+                ..SolveOptions::default()
+            },
+        );
         assert_eq!(r.status, Status::Optimal);
         let sol = r.solution.expect("optimal");
         let times = sm.extract_times(&sol.values);
@@ -296,6 +323,9 @@ mod tests {
         // The chain load→mul→add→store at latencies 4+4+1: minimal buffer
         // schedule packs ops as close as dependences allow.
         let buffers = sm.total_buffers(&sol.values).expect("buffer objective");
-        assert!(buffers >= 3, "each link needs at least one buffer: {buffers}");
+        assert!(
+            buffers >= 3,
+            "each link needs at least one buffer: {buffers}"
+        );
     }
 }

@@ -105,6 +105,9 @@ pub struct MostStats {
     pub iis_tried: Vec<u32>,
     /// Wall-clock time spent in ILP solving.
     pub solve_time: Duration,
+    /// Nanoseconds spent in register allocation (including the
+    /// fallback's allocation attempts, when it ran).
+    pub alloc_ns: u64,
 }
 
 /// A loop pipelined by MOST (or its heuristic fallback).
@@ -176,7 +179,10 @@ pub fn pipeline_most(
     let ddg = Ddg::build(lp, machine);
     let min_ii = ddg.min_ii();
     let max_ii = (min_ii * opts.max_ii_factor.max(1)).max(min_ii + 1);
-    let mut stats = MostStats { min_ii, ..MostStats::default() };
+    let mut stats = MostStats {
+        min_ii,
+        ..MostStats::default()
+    };
 
     let orders: Vec<Vec<swp_ir::OpId>> = if opts.use_priority_orders {
         PriorityHeuristic::ALL
@@ -198,12 +204,22 @@ pub fn pipeline_most(
             solve_at_ii(lp, &ddg, machine, ii, opts, &orders, &mut stats)
         {
             debug_assert_eq!(schedule.validate(lp, &ddg, machine), Ok(()));
-            match allocate(lp, &schedule, machine) {
+            let alloc_started = Instant::now();
+            let outcome = allocate(lp, &schedule, machine);
+            stats.alloc_ns = stats.alloc_ns.saturating_add(
+                u64::try_from(alloc_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            match outcome {
                 AllocOutcome::Allocated(allocation) => {
                     stats.optimal_ii = ii == min_ii && complete;
                     stats.buffers = buffers;
                     stats.solve_time = started.elapsed();
-                    return Ok(MostPipelined { body: lp.clone(), schedule, allocation, stats });
+                    return Ok(MostPipelined {
+                        body: lp.clone(),
+                        schedule,
+                        allocation,
+                        stats,
+                    });
                 }
                 AllocOutcome::Failed { .. } => {
                     // MOST has no spilling; try a larger II (more slack,
@@ -221,6 +237,7 @@ pub fn pipeline_most(
         p.stats.solves = stats.solves;
         p.stats.iis_tried = stats.iis_tried;
         p.stats.solve_time = stats.solve_time;
+        p.stats.alloc_ns = p.stats.alloc_ns.saturating_add(stats.alloc_ns);
     }
     r
 }
@@ -236,7 +253,11 @@ fn fallback_or_fail(
 ) -> Result<MostPipelined, MostError> {
     if opts.fallback {
         if let Ok(h) = swp_heur::pipeline(lp, machine, &HeurOptions::default()) {
-            let stats = MostStats { fell_back: true, ..MostStats::default() };
+            let stats = MostStats {
+                fell_back: true,
+                alloc_ns: h.stats.alloc_ns,
+                ..MostStats::default()
+            };
             return Ok(MostPipelined {
                 body: h.body,
                 schedule: h.schedule,
@@ -276,7 +297,10 @@ fn solve_at_ii(
         match r.status {
             Status::Optimal | Status::Feasible => {
                 let complete = r.status == Status::Optimal || r.solution.is_some();
-                feasible = Some((r.solution.expect("status implies solution").values, complete));
+                feasible = Some((
+                    r.solution.expect("status implies solution").values,
+                    complete,
+                ));
                 break;
             }
             Status::Infeasible => {
@@ -372,7 +396,8 @@ mod tests {
         }];
         for lp in mk_loops {
             let most = pipeline_most(&lp, &m, &MostOptions::default()).expect("most");
-            let heur = swp_heur::pipeline(&lp, &m, &swp_heur::HeurOptions::default()).expect("heur");
+            let heur =
+                swp_heur::pipeline(&lp, &m, &swp_heur::HeurOptions::default()).expect("heur");
             assert_eq!(most.ii(), heur.ii(), "loop {}", lp.name());
         }
     }
@@ -401,7 +426,11 @@ mod tests {
     #[test]
     fn fallback_engages_when_budget_exhausted() {
         let m = Machine::r8000();
-        let opts = MostOptions { node_limit: 1, time_limit: None, ..MostOptions::default() };
+        let opts = MostOptions {
+            node_limit: 1,
+            time_limit: None,
+            ..MostOptions::default()
+        };
         let r = pipeline_most(&saxpy(), &m, &opts).expect("fallback rescues");
         assert!(r.stats.fell_back);
         let ddg = Ddg::build(&r.body, &m);
@@ -425,7 +454,10 @@ mod tests {
         let without = pipeline_most(
             &saxpy(),
             &m,
-            &MostOptions { minimize_buffers: false, ..MostOptions::default() },
+            &MostOptions {
+                minimize_buffers: false,
+                ..MostOptions::default()
+            },
         )
         .expect("without");
         assert_eq!(with.ii(), without.ii());

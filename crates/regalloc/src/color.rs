@@ -163,7 +163,13 @@ mod tests {
     use super::*;
 
     fn rr(start: i64, len: i64) -> RenamedRange {
-        RenamedRange { value: ValueId(0), copy: 0, class: RegClass::Float, start, len }
+        RenamedRange {
+            value: ValueId(0),
+            copy: 0,
+            class: RegClass::Float,
+            start,
+            len,
+        }
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Allocation {
 
     /// Physical register of an invariant.
     pub fn reg_of_invariant(&self, value: ValueId) -> Option<u32> {
-        self.invariant_regs.iter().find(|&&(v, _)| v == value).map(|&(_, r)| r)
+        self.invariant_regs
+            .iter()
+            .find(|&&(v, _)| v == value)
+            .map(|&(_, r)| r)
     }
 }
 
@@ -154,16 +157,17 @@ pub fn allocate(lp: &Loop, schedule: &Schedule, machine: &Machine) -> AllocOutco
         let renamed = renamed_ranges(&ranges, class, ii, unroll);
         match color(&renamed, k, period.max(1)) {
             ColorOutcome::Colored(colors) => {
-                let used = colors.iter().filter(|&&c| c != u32::MAX).max().map_or(0, |&m| m + 1);
+                let used = colors
+                    .iter()
+                    .filter(|&&c| c != u32::MAX)
+                    .max()
+                    .map_or(0, |&m| m + 1);
                 regs_used[ci] = used + inv[ci];
                 // Invariants take the registers after the colored ones.
                 let mut next_inv = used;
                 let use_table = lp.uses();
                 for (v, info) in lp.values().iter().enumerate() {
-                    if info.class == class
-                        && info.is_invariant()
-                        && !use_table[v].is_empty()
-                    {
+                    if info.class == class && info.is_invariant() && !use_table[v].is_empty() {
                         invariant_regs.push((ValueId(v as u32), next_inv));
                         next_inv += 1;
                     }
@@ -180,12 +184,21 @@ pub fn allocate(lp: &Loop, schedule: &Schedule, machine: &Machine) -> AllocOutco
         let mut candidates: Vec<SpillCandidate> = ranges
             .iter()
             .filter(|r| r.span() > 0)
-            .map(|r| SpillCandidate { value: r.value, ratio: r.spill_ratio() })
+            .map(|r| SpillCandidate {
+                value: r.value,
+                ratio: r.spill_ratio(),
+            })
             .collect();
         candidates.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("finite ratios"));
         return AllocOutcome::Failed { candidates };
     }
-    AllocOutcome::Allocated(Allocation { unroll, ii, regs_used, assignments, invariant_regs })
+    AllocOutcome::Allocated(Allocation {
+        unroll,
+        ii,
+        regs_used,
+        assignments,
+        invariant_regs,
+    })
 }
 
 #[cfg(test)]

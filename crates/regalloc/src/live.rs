@@ -55,7 +55,13 @@ pub fn live_ranges(lp: &Loop, schedule: &Schedule) -> Vec<LiveRange> {
             end = end.max(t);
             refs += 1;
         }
-        ranges.push(LiveRange { value, class: info.class, start, end, refs });
+        ranges.push(LiveRange {
+            value,
+            class: info.class,
+            start,
+            end,
+            refs,
+        });
     }
     ranges
 }

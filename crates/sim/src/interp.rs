@@ -27,7 +27,10 @@ impl MemoryImage {
 
     /// Read a cell (seeded if never written).
     pub fn read(&self, array: ArrayId, addr: i64) -> f64 {
-        *self.cells.get(&(array.0, addr)).unwrap_or(&seed_mem(array, addr))
+        *self
+            .cells
+            .get(&(array.0, addr))
+            .unwrap_or(&seed_mem(array, addr))
     }
 
     /// Write a cell.
@@ -38,7 +41,7 @@ impl MemoryImage {
     /// Cells written during execution, sorted for comparison.
     pub fn written(&self) -> Vec<((u32, i64), f64)> {
         let mut v: Vec<_> = self.cells.iter().map(|(&k, &val)| (k, val)).collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.sort_by_key(|&(k, _)| k);
         v
     }
 
@@ -113,7 +116,11 @@ fn eval(sem: Sem, args: &[f64]) -> f64 {
         Sem::Sub => args[0] - args[1],
         Sem::Mul => args[0] * args[1],
         Sem::Div => {
-            let d = if args[1].abs() < 1e-12 { 1e-12 } else { args[1] };
+            let d = if args[1].abs() < 1e-12 {
+                1e-12
+            } else {
+                args[1]
+            };
             args[0] / d
         }
         Sem::Sqrt => args[0].abs().sqrt(),
@@ -174,7 +181,11 @@ pub fn run_sequential(lp: &Loop, n: u64) -> MemoryImage {
                 .collect();
             match op.sem {
                 Sem::Load => {
-                    let idx = if op.mem.expect("mem").indirect { Some(args[0]) } else { None };
+                    let idx = if op.mem.expect("mem").indirect {
+                        Some(args[0])
+                    } else {
+                        None
+                    };
                     let (array, addr) = elem_addr(op, i, idx);
                     let v = mem.read(array, addr);
                     history[slot][op.result.expect("load result").index()] = v;
@@ -246,14 +257,21 @@ pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> MemoryImage {
             .collect();
         match op.sem {
             Sem::Load => {
-                let idx = if op.mem.expect("mem").indirect { Some(args[0]) } else { None };
+                let idx = if op.mem.expect("mem").indirect {
+                    Some(args[0])
+                } else {
+                    None
+                };
                 let (array, addr) = elem_addr(op, i, idx);
                 results.insert((opid, i), mem.read(array, addr));
             }
             Sem::Store => {
                 let mem_desc = op.mem.expect("mem");
-                let (idx, val) =
-                    if mem_desc.indirect { (Some(args[0]), args[1]) } else { (None, args[0]) };
+                let (idx, val) = if mem_desc.indirect {
+                    (Some(args[0]), args[1])
+                } else {
+                    (None, args[0])
+                };
                 let (array, addr) = elem_addr(op, i, idx);
                 mem.write(array, addr, val);
             }
@@ -325,7 +343,11 @@ mod tests {
         let b = run_sequential(&spilled, 25);
         // Compare only cells of the original arrays (the spill slot is new).
         let aw = a.written();
-        let bw: Vec<_> = b.written().into_iter().filter(|((arr, _), _)| *arr < 2).collect();
+        let bw: Vec<_> = b
+            .written()
+            .into_iter()
+            .filter(|((arr, _), _)| *arr < 2)
+            .collect();
         assert_eq!(aw, bw); // finite values here; exact equality expected
     }
 
@@ -370,7 +392,10 @@ mod tests {
             vec![
                 HStmt::if_(
                     HExpr::lt(x.clone(), HExpr::invariant("zero")),
-                    vec![HStmt::let_("r", HExpr::sub(HExpr::invariant("zero"), x.clone()))],
+                    vec![HStmt::let_(
+                        "r",
+                        HExpr::sub(HExpr::invariant("zero"), x.clone()),
+                    )],
                     vec![HStmt::let_("r", x)],
                 ),
                 HStmt::store("y", 0, 8, HExpr::local("r")),

@@ -68,7 +68,12 @@ pub fn simulate(code: &PipelinedLoop, n: u64, machine: &Machine) -> SimResult {
 
     let static_cycles = code.static_cycles(n);
     if n == 0 {
-        return SimResult { cycles: 0, stall_cycles: 0, mem_refs: 0, iterations: 0 };
+        return SimResult {
+            cycles: 0,
+            stall_cycles: 0,
+            mem_refs: 0,
+            iterations: 0,
+        };
     }
     let mut stalls = 0u64;
     if machine.bank_model().is_some() && !mem_ops.is_empty() {
@@ -94,7 +99,12 @@ pub fn simulate(code: &PipelinedLoop, n: u64, machine: &Machine) -> SimResult {
             stalls += u64::from(bellows.cycle(&refs));
         }
     }
-    SimResult { cycles: static_cycles + stalls, stall_cycles: stalls, mem_refs, iterations: n }
+    SimResult {
+        cycles: static_cycles + stalls,
+        stall_cycles: stalls,
+        mem_refs,
+        iterations: n,
+    }
 }
 
 /// Simulate `n` iterations of the non-pipelined baseline (sequential
@@ -106,7 +116,12 @@ pub fn simulate_baseline(base: &BaselineLoop, n: u64, machine: &Machine) -> SimR
     let mem_refs = mem_ops.len() as u64 * n;
     let static_cycles = base.static_cycles(n);
     if n == 0 {
-        return SimResult { cycles: 0, stall_cycles: 0, mem_refs: 0, iterations: 0 };
+        return SimResult {
+            cycles: 0,
+            stall_cycles: 0,
+            mem_refs: 0,
+            iterations: 0,
+        };
     }
     let mut stalls = 0u64;
     if machine.bank_model().is_some() && !mem_ops.is_empty() {
@@ -125,7 +140,12 @@ pub fn simulate_baseline(base: &BaselineLoop, n: u64, machine: &Machine) -> SimR
             }
         }
     }
-    SimResult { cycles: static_cycles + stalls, stall_cycles: stalls, mem_refs, iterations: n }
+    SimResult {
+        cycles: static_cycles + stalls,
+        stall_cycles: stalls,
+        mem_refs,
+        iterations: n,
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +234,11 @@ mod tests {
         let off = compile(
             &mk(),
             &m,
-            &HeurOptions { bank_pairing: false, explore_stalls: false, ..HeurOptions::default() },
+            &HeurOptions {
+                bank_pairing: false,
+                explore_stalls: false,
+                ..HeurOptions::default()
+            },
         );
         let r_on = simulate(&on, 1000, &m);
         let r_off = simulate(&off, 1000, &m);

@@ -57,5 +57,7 @@ fn main() {
             100.0 * r.stall_cycles as f64 / r.cycles as f64
         );
     }
-    println!("\nThe worst case (paper §2.9): two same-bank references per cycle run at half speed.");
+    println!(
+        "\nThe worst case (paper §2.9): two same-bank references per cycle run at half speed."
+    );
 }

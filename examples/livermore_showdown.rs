@@ -7,9 +7,9 @@
 //! ```
 
 use showdown::{compare, SchedulerChoice};
+use std::time::Duration;
 use swp_machine::Machine;
 use swp_most::MostOptions;
-use std::time::Duration;
 
 fn main() {
     let machine = Machine::r8000();
@@ -25,8 +25,15 @@ fn main() {
     );
     let mut ilp_ii_wins = 0;
     for k in swp_kernels::livermore() {
-        let c = compare(&k.body, &machine, &SchedulerChoice::Heuristic, &most, k.short_trip, k.long_trip)
-            .expect("livermore pipelines");
+        let c = compare(
+            &k.body,
+            &machine,
+            &SchedulerChoice::Heuristic,
+            &most,
+            k.short_trip,
+            k.long_trip,
+        )
+        .expect("livermore pipelines");
         if c.ilp.ii < c.heuristic.ii {
             ilp_ii_wins += 1;
         }

@@ -45,7 +45,10 @@ fn main() {
     .expect("saxpy pipelines");
     println!("                     heuristic      ILP");
     println!("achieved II        {:>9}  {:>9}", c.heuristic.ii, c.ilp.ii);
-    println!("registers used     {:>9}  {:>9}", c.heuristic.total_regs, c.ilp.total_regs);
+    println!(
+        "registers used     {:>9}  {:>9}",
+        c.heuristic.total_regs, c.ilp.total_regs
+    );
     println!(
         "entry/exit cycles  {:>9}  {:>9}",
         c.heuristic.overhead_cycles, c.ilp.overhead_cycles
@@ -58,7 +61,8 @@ fn main() {
     // And what life looks like without software pipelining (§4.1).
     let base = compile_baseline(&lp, &machine);
     let br = simulate_baseline(&base, 10_000, &machine);
-    println!("\nwithout pipelining: {} cycles ({:.1}x slower)",
+    println!(
+        "\nwithout pipelining: {} cycles ({:.1}x slower)",
         br.cycles,
         br.cycles as f64 / c.heuristic.long.cycles as f64
     );

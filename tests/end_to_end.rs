@@ -33,7 +33,11 @@ fn every_livermore_kernel_compiles_and_validates_heuristic() {
             "kernel {}",
             k.number
         );
-        assert!(c.stats.ii >= c.stats.min_ii, "kernel {}: II below MinII", k.number);
+        assert!(
+            c.stats.ii >= c.stats.min_ii,
+            "kernel {}: II below MinII",
+            k.number
+        );
     }
 }
 
@@ -42,8 +46,8 @@ fn every_livermore_kernel_compiles_with_ilp_and_fallback() {
     let m = Machine::r8000();
     let most = quick_most();
     for k in swp_kernels::livermore() {
-        let c = compile_loop(&k.body, &m, &most)
-            .unwrap_or_else(|e| panic!("kernel {}: {e}", k.number));
+        let c =
+            compile_loop(&k.body, &m, &most).unwrap_or_else(|e| panic!("kernel {}: {e}", k.number));
         let ddg = Ddg::build(c.code.body(), &m);
         assert_eq!(
             c.code.schedule().validate(c.code.body(), &ddg, &m),
@@ -65,7 +69,10 @@ fn pipelined_execution_is_functionally_sequential() {
         // the interpreter handles them, but address collisions across
         // iterations make the comparison depend on seed data layout, so
         // they are covered by their own test below.
-        if k.body.mem_ops().any(|o| o.mem.is_some_and(|mm| mm.indirect)) {
+        if k.body
+            .mem_ops()
+            .any(|o| o.mem.is_some_and(|mm| mm.indirect))
+        {
             continue;
         }
         let c = compile_loop(&k.body, &m, &SchedulerChoice::Heuristic)
@@ -83,9 +90,42 @@ fn pipelined_execution_is_functionally_sequential() {
 }
 
 #[test]
+fn ilp_scheduled_execution_is_functionally_sequential() {
+    // Same differential lockdown for the ILP pipeliner: MOST explores
+    // schedules the greedy heuristic never proposes (and may fall back),
+    // yet issuing its code in schedule order must reproduce sequential
+    // semantics bit for bit on every affine Livermore kernel.
+    let m = Machine::r8000();
+    let most = quick_most();
+    for k in swp_kernels::livermore() {
+        if k.body
+            .mem_ops()
+            .any(|o| o.mem.is_some_and(|mm| mm.indirect))
+        {
+            continue;
+        }
+        let c =
+            compile_loop(&k.body, &m, &most).unwrap_or_else(|e| panic!("kernel {}: {e}", k.number));
+        let trips = 24;
+        let seq = run_sequential(c.code.body(), trips);
+        let pip = run_pipelined(&c.code, trips);
+        assert!(
+            seq.approx_eq(&pip, 0.0),
+            "kernel {} ({}) ILP-pipelined execution diverged (fell_back={})",
+            k.number,
+            k.name,
+            c.stats.fell_back
+        );
+    }
+}
+
+#[test]
 fn indirect_kernels_still_validate_and_simulate() {
     let m = Machine::r8000();
-    for k in swp_kernels::livermore().into_iter().filter(|k| [13, 14].contains(&k.number)) {
+    for k in swp_kernels::livermore()
+        .into_iter()
+        .filter(|k| [13, 14].contains(&k.number))
+    {
         let c = compile_loop(&k.body, &m, &SchedulerChoice::Heuristic).expect("compiles");
         let r = simulate(&c.code, 100, &m);
         assert!(r.cycles >= c.code.static_cycles(100));
@@ -117,7 +157,11 @@ fn unbanked_machine_runs_at_static_speed() {
     for k in swp_kernels::livermore().into_iter().take(6) {
         let c = compile_loop(&k.body, &m, &SchedulerChoice::Heuristic).expect("compiles");
         let r = simulate(&c.code, 200, &m);
-        assert_eq!(r.stall_cycles, 0, "kernel {}: ideal memory never stalls", k.number);
+        assert_eq!(
+            r.stall_cycles, 0,
+            "kernel {}: ideal memory never stalls",
+            k.number
+        );
         assert_eq!(r.cycles, c.code.static_cycles(200));
     }
 }
@@ -129,7 +173,10 @@ fn spilling_round_trips_semantics_end_to_end() {
     let tiny = swp_machine::MachineBuilder::new("tiny")
         .allocatable(swp_machine::RegClass::Float, 10)
         .build();
-    let k7 = swp_kernels::livermore().into_iter().find(|k| k.number == 7).expect("k7");
+    let k7 = swp_kernels::livermore()
+        .into_iter()
+        .find(|k| k.number == 7)
+        .expect("k7");
     let c = compile_loop(&k7.body, &tiny, &SchedulerChoice::Heuristic).expect("spills rescue");
     let trips = 16;
     // Compare against the *original* body's sequential execution, ignoring
@@ -138,10 +185,18 @@ fn spilling_round_trips_semantics_end_to_end() {
     let seq = run_sequential(&k7.body, trips);
     let pip = run_pipelined(&c.code, trips);
     let sw: Vec<_> = seq.written();
-    let pw: Vec<_> = pip.written().into_iter().filter(|((a, _), _)| *a < original_arrays).collect();
+    let pw: Vec<_> = pip
+        .written()
+        .into_iter()
+        .filter(|((a, _), _)| *a < original_arrays)
+        .collect();
     assert_eq!(sw.len(), pw.len());
     for ((ka, va), (kb, vb)) in sw.iter().zip(&pw) {
         assert_eq!(ka, kb);
-        assert_eq!(va.to_bits(), vb.to_bits(), "spilled code changed cell {ka:?}");
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "spilled code changed cell {ka:?}"
+        );
     }
 }

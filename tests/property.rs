@@ -2,7 +2,8 @@
 //! every layer of the system must uphold regardless of loop shape.
 
 use proptest::prelude::*;
-use showdown::{compile_loop, SchedulerChoice};
+use showdown::{compile_loop, ScheduleCache, SchedulerChoice};
+use std::sync::Arc;
 use swp_ir::{passes, Ddg, LongestPaths};
 use swp_kernels::{random_loop, GenParams};
 use swp_machine::Machine;
@@ -18,7 +19,15 @@ fn params_strategy() -> impl Strategy<Value = (GenParams, u64)> {
         0u64..1000,
     )
         .prop_map(|(ops, mem, rec, div, seed)| {
-            (GenParams { ops, mem_fraction: mem, recurrences: rec, div_fraction: div }, seed)
+            (
+                GenParams {
+                    ops,
+                    mem_fraction: mem,
+                    recurrences: rec,
+                    div_fraction: div,
+                },
+                seed,
+            )
         })
 }
 
@@ -165,6 +174,50 @@ proptest! {
             let ddg = Ddg::build(&lp, &m);
             prop_assert!(r.ii() >= ddg.min_ii());
             prop_assert_eq!(r.schedule.validate(&lp, &ddg, &m), Ok(()));
+        }
+    }
+
+    #[test]
+    fn cache_hit_is_identical_to_fresh_compile((p, seed) in params_strategy()) {
+        let m = Machine::r8000();
+        let small = GenParams { ops: p.ops.min(16), ..p };
+        let lp = random_loop(&small, seed);
+        // Node-budgeted ILP only: a wall-clock budget would make the
+        // fresh reference compile nondeterministic, and this test is
+        // about the cache, not solver timing. The fallback path (budget
+        // exhausted -> heuristic) is deterministic and stays enabled.
+        let ilp = SchedulerChoice::IlpWith(swp_most::MostOptions {
+            node_limit: 5_000,
+            time_limit: None,
+            loop_time_limit: None,
+            ..swp_most::MostOptions::default()
+        });
+        for choice in [SchedulerChoice::Heuristic, ilp] {
+            let cache = ScheduleCache::new();
+            let first = cache.get_or_compile(&lp, &m, &choice);
+            let hit = cache.get_or_compile(&lp, &m, &choice);
+            let fresh = compile_loop(&lp, &m, &choice);
+            prop_assert_eq!(cache.stats().hits, 1, "second lookup must hit");
+            match (first, hit, fresh) {
+                (Ok(first), Ok(hit), Ok(fresh)) => {
+                    // The hit shares the memoized object outright…
+                    prop_assert!(Arc::ptr_eq(&first, &hit), "hit must share the memoized compile");
+                    // …and that object matches a from-scratch compile:
+                    // same II, same op cycles, same register assignment,
+                    // same expanded code wholesale.
+                    prop_assert_eq!(hit.stats.ii, fresh.stats.ii);
+                    prop_assert_eq!(hit.code.schedule(), fresh.code.schedule());
+                    for class in swp_machine::RegClass::ALL {
+                        prop_assert_eq!(hit.code.regs_used(class), fresh.code.regs_used(class));
+                    }
+                    prop_assert_eq!(&hit.code, &fresh.code);
+                }
+                (Err(first), Err(hit), Err(fresh)) => {
+                    prop_assert_eq!(&first, &hit, "memoized error must replay");
+                    prop_assert_eq!(&hit, &fresh);
+                }
+                _ => prop_assert!(false, "cache changed the compile outcome"),
+            }
         }
     }
 }
