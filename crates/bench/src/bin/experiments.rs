@@ -7,7 +7,12 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
-//! ii-compare ablation-order ablation-iisearch ablation-spill speedup all`.
+//! ii-compare ablation-order ablation-iisearch ablation-spill speedup all
+//! audit`.
+//!
+//! `audit` (not part of `all`) compiles every suite loop under both
+//! schedulers at full verification and prints a findings table; with `-D`
+//! any finding exits nonzero, which is how CI enforces zero findings.
 //!
 //! Result figures run on a shared parallel [`Driver`] (`--threads N`,
 //! default: all cores) whose schedule cache carries compiles across
@@ -19,7 +24,7 @@
 
 use showdown::Driver;
 use swp_bench::{
-    ablation_ii_search, ablation_order, ablation_spill, compile_speed, driver_speedup,
+    ablation_ii_search, ablation_order, ablation_spill, audit_with, compile_speed, driver_speedup,
     fig2_geomean, fig2_with, fig3_with, fig4_with, fig5_with, fig6_fig7_with, ii_compare_with,
     loop_size, Effort,
 };
@@ -261,6 +266,41 @@ fn main() {
             "high-pressure loops pipelined with spilling: {}/{}; without: {}/{}\n",
             a.with_spilling, a.total, a.without_spilling, a.total
         );
+    }
+
+    if cmd == "audit" {
+        let deny = args.iter().any(|a| a == "-D" || a == "--deny");
+        println!("== Audit: translation validation, every suite x both schedulers ==");
+        println!(
+            "{:<12} {:<10} {:>6} {:>7} {:>9} {:>6}",
+            "suite", "scheduler", "loops", "errors", "warnings", "notes"
+        );
+        let rows = audit_with(&driver, &m, effort);
+        let mut total = 0usize;
+        for r in &rows {
+            println!(
+                "{:<12} {:<10} {:>6} {:>7} {:>9} {:>6}",
+                r.audit.name,
+                r.scheduler,
+                r.audit.loops.len(),
+                r.count(showdown::Severity::Error),
+                r.count(showdown::Severity::Warning),
+                r.count(showdown::Severity::Note)
+            );
+            for l in &r.audit.loops {
+                if !l.report.findings.is_empty() {
+                    println!("  {}::{} (II={}):", r.audit.name, l.loop_name, l.ii);
+                    for line in l.report.render_human().lines() {
+                        println!("    {line}");
+                    }
+                }
+            }
+            total += r.findings();
+        }
+        println!("total findings: {total}");
+        if deny && total > 0 {
+            std::process::exit(1);
+        }
     }
 
     if cmd == "speedup" {

@@ -6,7 +6,8 @@
 //! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
 
 use showdown::{
-    compare_with, geometric_mean, run_suite_baseline_with, run_suite_with, Driver, SchedulerChoice,
+    audit_suite_with, compare_with, geometric_mean, run_suite_baseline_with, run_suite_with,
+    CompileOptions, Driver, SchedulerChoice, Severity, SuiteAudit, VerifyLevel,
 };
 use std::time::{Duration, Instant};
 use swp_heur::{HeurOptions, PriorityHeuristic};
@@ -609,6 +610,59 @@ pub fn driver_speedup(machine: &Machine, effort: Effort, threads: usize) -> Vec<
         row.misses = after.misses - before.misses;
     }
     rows
+}
+
+/// One row of the `experiments audit` table: one suite under one
+/// scheduler, with every loop compiled at [`VerifyLevel::Full`].
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// `"heuristic"` or `"ilp"`.
+    pub scheduler: &'static str,
+    /// Per-loop audit reports.
+    pub audit: SuiteAudit,
+}
+
+impl AuditRow {
+    /// Total findings across every loop, all severities.
+    pub fn findings(&self) -> usize {
+        self.audit
+            .loops
+            .iter()
+            .map(|l| l.report.findings.len())
+            .sum()
+    }
+
+    /// Findings at one severity across every loop.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.audit.count(severity)
+    }
+}
+
+/// The translation-validation sweep behind `experiments audit`: every
+/// SPEC-like suite × both schedulers, each loop compiled at
+/// [`VerifyLevel::Full`] so all four analyzers plus the IR lints run.
+/// Suite rows come back grouped by suite, heuristic before ILP.
+pub fn audit_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<AuditRow> {
+    let schedulers: [(&'static str, SchedulerChoice); 2] = [
+        ("heuristic", SchedulerChoice::Heuristic),
+        ("ilp", SchedulerChoice::IlpWith(effort.most_options())),
+    ];
+    let suites = spec_suites();
+    driver.run_indexed(suites.len() * schedulers.len(), |j| {
+        let suite = &suites[j / schedulers.len()];
+        let (name, choice) = &schedulers[j % schedulers.len()];
+        let inner = driver.sequential_view();
+        let options = CompileOptions {
+            choice: choice.clone(),
+            verify: VerifyLevel::Full,
+        };
+        let audit =
+            audit_suite_with(&inner, suite, machine, &options).expect("every suite loop compiles");
+        AuditRow {
+            scheduler: name,
+            audit,
+        }
+    })
 }
 
 /// Ablation (§3.3 adj. 3): MOST with and without priority-order branching.

@@ -76,6 +76,7 @@ const FREE_REGS_PER_CLASS: u32 = 16;
 pub struct PipelinedLoop {
     body: Loop,
     schedule: Schedule,
+    allocation: Allocation,
     unroll: u32,
     stage_count: u32,
     prologue: Vec<CodeOp>,
@@ -83,6 +84,18 @@ pub struct PipelinedLoop {
     epilogue: Vec<CodeOp>,
     overhead: Overhead,
     regs: [u32; 2],
+}
+
+/// One of the three expanded code sections, for
+/// [`PipelinedLoop::with_tampered_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeSection {
+    /// Fill code.
+    Prologue,
+    /// The steady-state window.
+    Kernel,
+    /// Drain code.
+    Epilogue,
 }
 
 impl PipelinedLoop {
@@ -155,6 +168,7 @@ impl PipelinedLoop {
         PipelinedLoop {
             body: body.clone(),
             schedule: schedule.clone(),
+            allocation: allocation.clone(),
             unroll: allocation.unroll(),
             stage_count: sc,
             prologue,
@@ -173,6 +187,34 @@ impl PipelinedLoop {
     /// The underlying modulo schedule.
     pub fn schedule(&self) -> &Schedule {
         &self.schedule
+    }
+
+    /// The register allocation this code was expanded with.
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// A copy of this code with one expanded instruction overwritten.
+    /// Fault injection for the `swp-verify` mutation tests; never part of
+    /// normal code generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the section.
+    pub fn with_tampered_op(
+        &self,
+        section: CodeSection,
+        index: usize,
+        op: CodeOp,
+    ) -> PipelinedLoop {
+        let mut out = self.clone();
+        let slot = match section {
+            CodeSection::Prologue => &mut out.prologue[index],
+            CodeSection::Kernel => &mut out.kernel[index],
+            CodeSection::Epilogue => &mut out.epilogue[index],
+        };
+        *slot = op;
+        out
     }
 
     /// The achieved II.

@@ -19,7 +19,7 @@ mod baseline;
 mod expand;
 
 pub use baseline::{list_schedule, BaselineLoop};
-pub use expand::{CodeOp, Overhead, PipelinedLoop};
+pub use expand::{CodeOp, CodeSection, Overhead, PipelinedLoop};
 
 #[cfg(test)]
 mod tests {

@@ -31,11 +31,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::compile::{compile_loop, CompileError, CompiledLoop, SchedulerChoice};
+use crate::compile::{
+    compile_loop_with, CompileError, CompileOptions, CompiledLoop, SchedulerChoice,
+};
 use swp_heur::HeurOptions;
 use swp_ir::Loop;
 use swp_machine::{Machine, RegClass};
 use swp_most::MostOptions;
+use swp_verify::VerifyLevel;
 
 /// FNV-1a, with explicit length prefixes where variable-length data is
 /// folded in. Stable across runs and platforms (unlike `DefaultHasher`,
@@ -179,12 +182,30 @@ fn fold_choice(h: &mut StableHasher, choice: &SchedulerChoice) {
     }
 }
 
-/// Compute the cache key for one compile request.
+fn fold_verify(h: &mut StableHasher, level: VerifyLevel) {
+    h.byte(b'V');
+    h.byte(match level {
+        VerifyLevel::Off => 0,
+        VerifyLevel::Schedule => 1,
+        VerifyLevel::Full => 2,
+    });
+}
+
+/// Compute the cache key for one compile request (verification off).
 pub fn cache_key(lp: &Loop, machine: &Machine, choice: &SchedulerChoice) -> u64 {
+    cache_key_with(lp, machine, &CompileOptions::from(choice.clone()))
+}
+
+/// Compute the cache key for one compile request with full options. The
+/// verify level is part of the key: a verified entry carries its audit
+/// report, so it must not be served to an unverified request (and vice
+/// versa — an `Off` entry has no report to serve).
+pub fn cache_key_with(lp: &Loop, machine: &Machine, options: &CompileOptions) -> u64 {
     let mut h = StableHasher::new();
     fold_loop(&mut h, lp);
     fold_machine(&mut h, machine);
-    fold_choice(&mut h, choice);
+    fold_choice(&mut h, &options.choice);
+    fold_verify(&mut h, options.verify);
     h.finish()
 }
 
@@ -246,7 +267,24 @@ impl ScheduleCache {
         machine: &Machine,
         choice: &SchedulerChoice,
     ) -> Result<Arc<CompiledLoop>, CompileError> {
-        let key = cache_key(lp, machine, choice);
+        self.get_or_compile_with(lp, machine, &CompileOptions::from(choice.clone()))
+    }
+
+    /// [`Self::get_or_compile`] with full [`CompileOptions`]: verified
+    /// compiles are memoized *with* their audit report attached, under a
+    /// key that includes the verify level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and memoizes) [`CompileError`] from the underlying
+    /// compile.
+    pub fn get_or_compile_with(
+        &self,
+        lp: &Loop,
+        machine: &Machine,
+        options: &CompileOptions,
+    ) -> Result<Arc<CompiledLoop>, CompileError> {
+        let key = cache_key_with(lp, machine, options);
         {
             let mut slots = self.slots.lock().expect("cache lock");
             loop {
@@ -266,7 +304,7 @@ impl ScheduleCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = compile_loop(lp, machine, choice).map(Arc::new);
+        let result = compile_loop_with(lp, machine, options).map(Arc::new);
         let mut slots = self.slots.lock().expect("cache lock");
         slots.insert(key, Slot::Ready(result.clone()));
         self.ready.notify_all();
@@ -426,6 +464,34 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one real compile");
         assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn verify_level_is_part_of_the_key_and_the_report_is_memoized() {
+        let m = Machine::r8000();
+        let lp = saxpy("s");
+        let off = CompileOptions::from(SchedulerChoice::Heuristic);
+        let full = CompileOptions {
+            choice: SchedulerChoice::Heuristic,
+            verify: VerifyLevel::Full,
+        };
+        assert_ne!(
+            cache_key_with(&lp, &m, &off),
+            cache_key_with(&lp, &m, &full)
+        );
+        assert_eq!(cache_key(&lp, &m, &SchedulerChoice::Heuristic), {
+            cache_key_with(&lp, &m, &off)
+        });
+        let cache = ScheduleCache::new();
+        let a = cache.get_or_compile_with(&lp, &m, &full).expect("compiles");
+        assert!(a.audit.as_ref().is_some_and(|r| r.is_clean()));
+        let b = cache.get_or_compile_with(&lp, &m, &full).expect("compiles");
+        assert!(Arc::ptr_eq(&a, &b), "verified entry is shared");
+        let plain = cache
+            .get_or_compile(&lp, &m, &SchedulerChoice::Heuristic)
+            .expect("compiles");
+        assert!(plain.audit.is_none(), "unverified request compiled fresh");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

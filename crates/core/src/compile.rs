@@ -5,6 +5,7 @@ use swp_heur::{HeurOptions, PipelineError};
 use swp_ir::{Ddg, Loop};
 use swp_machine::Machine;
 use swp_most::{MostError, MostOptions};
+use swp_verify::{VerifyLevel, VerifyReport};
 
 /// Which pipeliner to use.
 #[derive(Debug, Clone, Default)]
@@ -20,6 +21,26 @@ pub enum SchedulerChoice {
     IlpWith(MostOptions),
 }
 
+/// Full compile configuration: which pipeliner, and how much independent
+/// auditing to run on its output (see [`swp_verify`]).
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// The pipeliner and its options.
+    pub choice: SchedulerChoice,
+    /// Translation-validation level. [`VerifyLevel::Off`] (the default)
+    /// adds zero cost; `Full` also lints the input loop before scheduling.
+    pub verify: VerifyLevel,
+}
+
+impl From<SchedulerChoice> for CompileOptions {
+    fn from(choice: SchedulerChoice) -> CompileOptions {
+        CompileOptions {
+            choice,
+            verify: VerifyLevel::Off,
+        }
+    }
+}
+
 /// Result of compiling one loop.
 #[derive(Debug, Clone)]
 pub struct CompiledLoop {
@@ -27,6 +48,9 @@ pub struct CompiledLoop {
     pub code: PipelinedLoop,
     /// Compile statistics.
     pub stats: CompileStats,
+    /// Audit report, when compiled with `verify` on. `None` means the
+    /// auditors did not run, not that the code is certified.
+    pub audit: Option<VerifyReport>,
 }
 
 /// Scheduler-independent compile statistics.
@@ -93,6 +117,36 @@ pub fn compile_loop(
     }
 }
 
+/// [`compile_loop`] plus the independent audit pipeline: at
+/// [`VerifyLevel::Full`] the input loop is linted *before* scheduling, and
+/// the compiled artifact is re-validated by every `swp-verify` analyzer;
+/// at [`VerifyLevel::Schedule`] only the schedule auditor runs. The report
+/// lands in [`CompiledLoop::audit`]; findings never abort the compile —
+/// callers decide how strict to be (see `experiments audit -D`).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the chosen pipeliner (including any
+/// fallback) cannot produce a schedule.
+pub fn compile_loop_with(
+    lp: &Loop,
+    machine: &Machine,
+    options: &CompileOptions,
+) -> Result<CompiledLoop, CompileError> {
+    let lints = if options.verify == VerifyLevel::Full {
+        swp_verify::lint_findings(lp, machine)
+    } else {
+        Vec::new()
+    };
+    let mut compiled = compile_loop(lp, machine, &options.choice)?;
+    if options.verify != VerifyLevel::Off {
+        let mut report = swp_verify::audit(&compiled.code, machine, options.verify);
+        report.findings.splice(0..0, lints);
+        compiled.audit = Some(report);
+    }
+    Ok(compiled)
+}
+
 fn compile_heur(
     lp: &Loop,
     machine: &Machine,
@@ -117,6 +171,7 @@ fn compile_heur(
             alloc_ns: p.stats.alloc_ns,
             expand_ns,
         },
+        audit: None,
     })
 }
 
@@ -144,6 +199,7 @@ fn compile_ilp(
             alloc_ns: p.stats.alloc_ns,
             expand_ns,
         },
+        audit: None,
     })
 }
 
@@ -183,6 +239,22 @@ mod tests {
         assert_eq!(h.stats.ii, i.stats.ii);
         assert_eq!(h.stats.min_ii, i.stats.min_ii);
         assert!(!i.stats.fell_back);
+    }
+
+    #[test]
+    fn verified_compile_attaches_a_clean_report() {
+        let m = Machine::r8000();
+        let opts = CompileOptions {
+            choice: SchedulerChoice::Heuristic,
+            verify: VerifyLevel::Full,
+        };
+        let c = compile_loop_with(&saxpy(), &m, &opts).expect("compiles");
+        let report = c.audit.expect("audit ran");
+        assert_eq!(report.level, VerifyLevel::Full);
+        assert!(report.is_clean(), "{}", report.render_human());
+        // The default path never pays for verification.
+        let off = compile_loop_with(&saxpy(), &m, &CompileOptions::default()).expect("compiles");
+        assert!(off.audit.is_none());
     }
 
     #[test]

@@ -55,21 +55,23 @@ mod compile;
 mod par;
 mod suite;
 
-pub use cache::{cache_key, CacheStats, ScheduleCache};
+pub use cache::{cache_key, cache_key_with, CacheStats, ScheduleCache};
 pub use compare::{compare, compare_with, LoopComparison, Measured};
 pub use compile::{
-    compile_baseline, compile_loop, CompileError, CompileStats, CompiledLoop, SchedulerChoice,
+    compile_baseline, compile_loop, compile_loop_with, CompileError, CompileOptions, CompileStats,
+    CompiledLoop, SchedulerChoice,
 };
 pub use par::Driver;
 pub use suite::{
-    geometric_mean, run_suite, run_suite_baseline, run_suite_baseline_with, run_suite_with,
-    SuiteResult,
+    audit_suite_with, geometric_mean, run_suite, run_suite_baseline, run_suite_baseline_with,
+    run_suite_with, LoopAudit, SuiteAudit, SuiteResult,
 };
+pub use swp_verify::{Finding, Severity, VerifyLevel, VerifyReport};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use {
     swp_codegen, swp_heur, swp_ilp, swp_ir, swp_kernels, swp_machine, swp_most, swp_regalloc,
-    swp_sim,
+    swp_sim, swp_verify,
 };
 
 #[cfg(test)]

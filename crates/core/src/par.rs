@@ -19,7 +19,9 @@ use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex};
 
 use crate::cache::{CacheStats, ScheduleCache};
-use crate::compile::{compile_loop, CompileError, CompiledLoop, SchedulerChoice};
+use crate::compile::{
+    compile_loop, compile_loop_with, CompileError, CompileOptions, CompiledLoop, SchedulerChoice,
+};
 use swp_ir::Loop;
 use swp_machine::Machine;
 
@@ -103,6 +105,24 @@ impl Driver {
         match &self.cache {
             Some(cache) => cache.get_or_compile(lp, machine, choice),
             None => compile_loop(lp, machine, choice).map(Arc::new),
+        }
+    }
+
+    /// Compile one loop with full [`CompileOptions`] (scheduler choice +
+    /// verify level), consulting the cache when enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the underlying scheduler.
+    pub fn compile_with(
+        &self,
+        lp: &Loop,
+        machine: &Machine,
+        options: &CompileOptions,
+    ) -> Result<Arc<CompiledLoop>, CompileError> {
+        match &self.cache {
+            Some(cache) => cache.get_or_compile_with(lp, machine, options),
+            None => compile_loop_with(lp, machine, options).map(Arc::new),
         }
     }
 

@@ -9,11 +9,14 @@
 //! aggregation runs over that ordered vector (`tests/determinism.rs`
 //! locks this down at several thread counts).
 
-use crate::compile::{compile_baseline, compile_loop, CompileError, SchedulerChoice};
+use crate::compile::{
+    compile_baseline, compile_loop, CompileError, CompileOptions, SchedulerChoice,
+};
 use crate::par::Driver;
 use swp_kernels::Suite;
 use swp_machine::Machine;
 use swp_sim::{simulate, simulate_baseline};
+use swp_verify::{Severity, VerifyReport};
 
 /// Result of running one suite under one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +130,70 @@ pub fn run_suite_baseline_with(driver: &Driver, suite: &Suite, machine: &Machine
     }
 }
 
+/// Audit report for one suite loop.
+#[derive(Debug, Clone)]
+pub struct LoopAudit {
+    /// Loop name within the suite.
+    pub loop_name: String,
+    /// Achieved II.
+    pub ii: u32,
+    /// The auditors' findings (lints first, then analyzer findings).
+    pub report: VerifyReport,
+}
+
+/// Audit reports for every loop of a suite under one scheduler.
+#[derive(Debug, Clone)]
+pub struct SuiteAudit {
+    /// Suite name.
+    pub name: String,
+    /// Per-loop reports in suite order.
+    pub loops: Vec<LoopAudit>,
+}
+
+impl SuiteAudit {
+    /// Total findings at one severity across all loops.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.loops.iter().map(|l| l.report.count(severity)).sum()
+    }
+
+    /// Whether no loop produced an `Error` finding.
+    pub fn is_clean(&self) -> bool {
+        self.loops.iter().all(|l| l.report.is_clean())
+    }
+}
+
+/// Compile every loop of a suite through `driver` with `options` and
+/// collect the audit reports. This is the engine of `experiments audit`:
+/// it exercises the full translation-validation pipeline over real
+/// workloads without simulating them.
+///
+/// # Errors
+///
+/// Propagates the first loop (in suite order) that fails to compile —
+/// a compile failure is not a finding, it means there is nothing to audit.
+pub fn audit_suite_with(
+    driver: &Driver,
+    suite: &Suite,
+    machine: &Machine,
+    options: &CompileOptions,
+) -> Result<SuiteAudit, CompileError> {
+    let per_loop: Vec<Result<LoopAudit, CompileError>> =
+        driver.run_indexed(suite.loops.len(), |i| {
+            let wl = &suite.loops[i];
+            let c = driver.compile_with(&wl.body, machine, options)?;
+            Ok(LoopAudit {
+                loop_name: wl.name.to_owned(),
+                ii: c.stats.ii,
+                report: c.audit.clone().unwrap_or_default(),
+            })
+        });
+    let loops = per_loop.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SuiteAudit {
+        name: suite.name.to_owned(),
+        loops,
+    })
+}
+
 /// Geometric mean of per-suite ratios — the SPEC aggregation the paper
 /// uses ("calculated as the geometric mean of the results on each
 /// benchmark").
@@ -174,6 +241,24 @@ mod tests {
         let base_seq = run_suite_baseline(&suite, &m);
         let base_par = run_suite_baseline_with(&driver, &suite, &m);
         assert_eq!(base_seq, base_par);
+    }
+
+    #[test]
+    fn suite_audit_is_clean_for_the_heuristic_pipeliner() {
+        let m = Machine::r8000();
+        let suite = swp_kernels::spec_suites()
+            .into_iter()
+            .find(|s| s.name == "alvinn")
+            .expect("alvinn exists");
+        let driver = Driver::new(2);
+        let opts = CompileOptions {
+            choice: SchedulerChoice::Heuristic,
+            verify: swp_verify::VerifyLevel::Full,
+        };
+        let audit = audit_suite_with(&driver, &suite, &m, &opts).expect("compiles");
+        assert_eq!(audit.loops.len(), suite.loops.len());
+        assert!(audit.is_clean(), "unexpected findings in {:?}", audit);
+        assert!(audit.loops.iter().all(|l| l.ii > 0));
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod builder;
 mod ddg;
 pub mod deps;
 pub mod hir;
+pub mod lint;
 mod op;
 pub mod passes;
 mod pretty;

@@ -1,0 +1,244 @@
+//! Pre-scheduling IR lints.
+//!
+//! Cheap well-formedness and dead-code checks run on a [`Loop`] before
+//! either pipeliner sees it. Lints carry the stable `SWP-L00x` codes of
+//! the diagnostics engine (DESIGN.md §7); `swp-verify` maps them onto its
+//! [`Finding`] type and `core::compile` runs them whenever verification
+//! is enabled.
+//!
+//! - `SWP-L001` — a structural invariant of the IR is violated
+//!   ([`Loop::validate`] fails); nothing downstream is trustworthy.
+//! - `SWP-L002` — a dead op: it defines a value nothing reads and has no
+//!   memory side effect.
+//! - `SWP-L003` — the DDG has a dependence cycle of zero total iteration
+//!   distance, which no II can schedule.
+//! - `SWP-L004` — a carried recurrence whose values never reach memory
+//!   even though the loop does store results: the closest representable
+//!   analogue of an unclosed carried value (truly unclosed carried values
+//!   cannot leave [`crate::LoopBuilder`], which panics in `finish`).
+//!   Store-free loops are exempt — a pure reduction keeps its accumulator
+//!   as a register live-out, so "never reaches memory" is its contract,
+//!   not a defect.
+
+use crate::ddg::Ddg;
+use crate::op::{Loop, OpId};
+use swp_machine::Machine;
+
+/// One IR lint: a stable code, a message, and the op it anchors to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable `SWP-L00x` code.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// The operation involved, if the lint is about one.
+    pub op: Option<OpId>,
+}
+
+/// Run every lint over `lp`. A structural (`SWP-L001`) failure
+/// short-circuits: the body cannot be analyzed further.
+pub fn lint_loop(lp: &Loop, machine: &Machine) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    if let Err(e) = lp.validate() {
+        lints.push(Lint {
+            code: "SWP-L001",
+            message: format!("structural invariant violated: {e}"),
+            op: None,
+        });
+        return lints;
+    }
+    if lp.is_empty() {
+        return lints;
+    }
+    let uses = lp.uses();
+
+    // SWP-L002: ops whose result nothing reads (stores have side effects
+    // and no result, so they never qualify).
+    for op in lp.ops() {
+        if let Some(r) = op.result {
+            if uses[r.index()].is_empty() {
+                lints.push(Lint {
+                    code: "SWP-L002",
+                    message: format!(
+                        "op {} defines {} which is never used",
+                        op.id.0,
+                        lp.value(r).name
+                    ),
+                    op: Some(op.id),
+                });
+            }
+        }
+    }
+
+    // SWP-L003: a cycle through distance-0 arcs has no legal schedule at
+    // any II (every arc demands t(to) ≥ t(from) + latency with latency ≥ 0
+    // and at least one positive latency in practice).
+    let ddg = Ddg::build(lp, machine);
+    if let Some(op) = zero_distance_cycle(lp, &ddg) {
+        lints.push(Lint {
+            code: "SWP-L003",
+            message: format!(
+                "dependence cycle of zero iteration distance through op {} — no II can \
+                 schedule it",
+                op.0
+            ),
+            op: Some(op),
+        });
+    }
+
+    // SWP-L004: recurrences that never escape to memory. Mark every op
+    // that transitively feeds a store; a non-escaping op with a carried
+    // operand is a dead recurrence (its carried value is "closed" in the
+    // builder sense but feeds nothing observable). Loops with no stores
+    // at all are exempt: a pure reduction (alvinn's dot products, nasa7's
+    // mxm) hands its accumulators to the caller as register live-outs,
+    // and there is nothing in-loop its values *could* reach.
+    let mut escapes = vec![false; lp.len()];
+    let mut work: Vec<OpId> = lp
+        .ops()
+        .iter()
+        .filter(|o| o.result.is_none() && o.is_mem())
+        .map(|o| o.id)
+        .collect();
+    if work.is_empty() {
+        return lints;
+    }
+    for &s in &work {
+        escapes[s.index()] = true;
+    }
+    while let Some(op) = work.pop() {
+        for operand in &lp.op(op).operands {
+            if let Some(def) = lp.value(operand.value).def {
+                if !escapes[def.index()] {
+                    escapes[def.index()] = true;
+                    work.push(def);
+                }
+            }
+        }
+    }
+    for op in lp.ops() {
+        if !escapes[op.id.index()] && op.operands.iter().any(|o| o.distance >= 1) {
+            lints.push(Lint {
+                code: "SWP-L004",
+                message: format!(
+                    "op {} carries a recurrence whose values never reach memory",
+                    op.id.0
+                ),
+                op: Some(op.id),
+            });
+        }
+    }
+    lints
+}
+
+/// Find an op on a dependence cycle whose arcs all have distance 0, if
+/// one exists (iterative three-color DFS over the distance-0 subgraph).
+fn zero_distance_cycle(lp: &Loop, ddg: &Ddg) -> Option<OpId> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; lp.len()];
+    for start in lp.ops() {
+        if color[start.id.index()] != WHITE {
+            continue;
+        }
+        // Stack of (node, next-successor-cursor) over distance-0 arcs.
+        let mut stack: Vec<(OpId, usize)> = vec![(start.id, 0)];
+        color[start.id.index()] = GRAY;
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            let next = ddg
+                .succ_edges(node)
+                .filter(|e| e.distance == 0)
+                .nth(*cursor)
+                .map(|e| e.to);
+            *cursor += 1;
+            match next {
+                Some(to) if color[to.index()] == GRAY => return Some(to),
+                Some(to) if color[to.index()] == WHITE => {
+                    color[to.index()] = GRAY;
+                    stack.push((to, 0));
+                }
+                Some(_) => {}
+                None => {
+                    color[node.index()] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+
+    #[test]
+    fn clean_loop_has_no_lints() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(x, 800, 8, w);
+        let lp = b.finish();
+        assert_eq!(lint_loop(&lp, &m), Vec::new());
+    }
+
+    #[test]
+    fn dead_op_is_flagged() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let _dead = b.fmul(v, v);
+        b.store(x, 800, 8, v);
+        let lp = b.finish();
+        let lints = lint_loop(&lp, &m);
+        assert!(lints.iter().any(|l| l.code == "SWP-L002"), "{lints:?}");
+    }
+
+    #[test]
+    fn dead_recurrence_is_flagged() {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let acc = b.fadd(s.value(), v);
+        b.close(s, acc, 1);
+        // No store of `acc`: the reduction feeds nothing.
+        b.store(x, 800, 8, v);
+        let lp = b.finish();
+        let lints = lint_loop(&lp, &m);
+        assert!(lints.iter().any(|l| l.code == "SWP-L004"), "{lints:?}");
+        // A stored reduction is fine.
+        let mut b = LoopBuilder::new("t2");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let acc = b.fadd(s.value(), v);
+        b.close(s, acc, 1);
+        b.store(x, 800, 8, acc);
+        let lp = b.finish();
+        assert!(lint_loop(&lp, &m).iter().all(|l| l.code != "SWP-L004"));
+        // A store-free pure reduction is also fine: its accumulator is a
+        // register live-out, not a dead value.
+        let mut b = LoopBuilder::new("t3");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 8);
+        let s = b.carried_f("s");
+        let acc = b.fadd(s.value(), v);
+        b.close(s, acc, 1);
+        let lp = b.finish();
+        assert_eq!(lint_loop(&lp, &m), Vec::new());
+    }
+
+    #[test]
+    fn empty_loop_is_clean() {
+        let m = Machine::r8000();
+        let lp = LoopBuilder::new("empty").finish();
+        assert_eq!(lint_loop(&lp, &m), Vec::new());
+    }
+}

@@ -64,8 +64,23 @@ pub enum ScheduleError {
     },
 }
 
+impl ScheduleError {
+    /// Stable diagnostic code shared with the `swp-verify` lint namespace
+    /// (DESIGN.md §7); the single `Display` implementation below prefixes
+    /// every rendering with it.
+    pub fn lint_code(&self) -> &'static str {
+        match self {
+            ScheduleError::WrongLength { .. } => "SWP-V101",
+            ScheduleError::NegativeTime(_) => "SWP-V102",
+            ScheduleError::Dependence { .. } => "SWP-V103",
+            ScheduleError::Resource { .. } => "SWP-V104",
+        }
+    }
+}
+
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.lint_code())?;
         match self {
             ScheduleError::WrongLength { expected, actual } => {
                 write!(f, "schedule has {actual} times for {expected} ops")

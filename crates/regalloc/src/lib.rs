@@ -98,6 +98,22 @@ impl Allocation {
             .find(|&&(v, _)| v == value)
             .map(|&(_, r)| r)
     }
+
+    /// A copy of this allocation with one `(value, kernel copy)` pair
+    /// forced onto `reg` (added if absent). Fault injection for the
+    /// `swp-verify` mutation tests; never used by the allocator itself.
+    pub fn with_assignment(&self, value: ValueId, copy: u32, reg: u32) -> Allocation {
+        let mut out = self.clone();
+        match out
+            .assignments
+            .iter_mut()
+            .find(|(v, c, _)| *v == value && *c == copy)
+        {
+            Some(slot) => slot.2 = reg,
+            None => out.assignments.push((value, copy, reg)),
+        }
+        out
+    }
 }
 
 /// A ranked spill candidate (§2.8): larger ratio = spilled sooner.

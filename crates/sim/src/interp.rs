@@ -77,6 +77,52 @@ impl MemoryImage {
     }
 }
 
+/// Why a functional execution could not complete. Rendered in the same
+/// `CODE: message` shape as the `swp-verify` diagnostics engine so audit
+/// and simulation failures read identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// An instance consumed a value whose defining instance had not yet
+    /// executed — the schedule (or the expansion) broke a flow dependence.
+    UseBeforeDef {
+        /// The op whose operand was unavailable.
+        consumer: OpId,
+        /// The op that should have defined the value.
+        def: OpId,
+        /// Iteration of the missing defining instance.
+        iteration: i64,
+    },
+}
+
+impl SimError {
+    /// Stable lint code, in the `swp-verify` namespace (X = execution).
+    pub fn lint_code(&self) -> &'static str {
+        match self {
+            SimError::UseBeforeDef { .. } => "SWP-X001",
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ", self.lint_code())?;
+        match self {
+            SimError::UseBeforeDef {
+                consumer,
+                def,
+                iteration,
+            } => write!(
+                f,
+                "op {} uses the value of op {} for iteration {iteration} \
+                 before that instance has executed",
+                consumer.0, def.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Deterministic seed for a memory cell: small, nonzero, array- and
 /// address-dependent.
 fn seed_mem(array: ArrayId, addr: i64) -> f64 {
@@ -215,7 +261,13 @@ pub fn run_sequential(lp: &Loop, n: u64) -> MemoryImage {
 /// before any store writes it. Returns the final memory image, which must
 /// match [`run_sequential`] whenever the schedule respects the loop's
 /// dependences.
-pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> MemoryImage {
+///
+/// # Errors
+///
+/// Returns [`SimError::UseBeforeDef`] when an instance consumes a value
+/// whose defining instance has not executed — the execution-order witness
+/// of a broken flow dependence.
+pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> Result<MemoryImage, SimError> {
     let lp = code.body();
     let schedule = code.schedule();
     let ii = i64::from(code.ii());
@@ -236,25 +288,30 @@ pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> MemoryImage {
 
     for (_, _, opid, i) in instances {
         let op = lp.op(opid);
-        let args: Vec<f64> = op
-            .operands
-            .iter()
-            .map(|operand| {
-                let info = lp.value(operand.value);
-                if info.is_invariant() {
-                    return seed_invariant(operand.value);
+        let mut args: Vec<f64> = Vec::with_capacity(op.operands.len());
+        for operand in &op.operands {
+            let info = lp.value(operand.value);
+            if info.is_invariant() {
+                args.push(seed_invariant(operand.value));
+                continue;
+            }
+            let src = i - i64::from(operand.distance);
+            if src < 0 {
+                args.push(seed_init(operand.value));
+                continue;
+            }
+            let def = info.def.expect("non-invariant has def");
+            match results.get(&(def, src)) {
+                Some(&v) => args.push(v),
+                None => {
+                    return Err(SimError::UseBeforeDef {
+                        consumer: opid,
+                        def,
+                        iteration: src,
+                    })
                 }
-                let src = i - i64::from(operand.distance);
-                if src < 0 {
-                    seed_init(operand.value)
-                } else {
-                    let def = info.def.expect("non-invariant has def");
-                    *results
-                        .get(&(def, src))
-                        .unwrap_or_else(|| panic!("use before def: {def:?} iter {src}"))
-                }
-            })
-            .collect();
+            }
+        }
         match op.sem {
             Sem::Load => {
                 let idx = if op.mem.expect("mem").indirect {
@@ -280,7 +337,7 @@ pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> MemoryImage {
             }
         }
     }
-    mem
+    Ok(mem)
 }
 
 #[cfg(test)]
@@ -311,7 +368,7 @@ mod tests {
         let p = pipeline(&lp, &m, &HeurOptions::default()).expect("pipelines");
         let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
         let seq = run_sequential(&lp, 30);
-        let pip = run_pipelined(&code, 30);
+        let pip = run_pipelined(&code, 30).expect("schedule preserves dependences");
         assert!(seq.approx_eq(&pip, 0.0), "pipelined execution diverged");
     }
 
@@ -329,8 +386,29 @@ mod tests {
         let p = pipeline(&lp, &m, &HeurOptions::default()).expect("pipelines");
         let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
         let seq = run_sequential(&lp, 20);
-        let pip = run_pipelined(&code, 20);
+        let pip = run_pipelined(&code, 20).expect("schedule preserves dependences");
         assert!(seq.approx_eq(&pip, 0.0));
+    }
+
+    #[test]
+    fn use_before_def_is_a_structured_error() {
+        // Issue the fmadd *before* the loads it consumes: iteration 0 of
+        // the consumer runs with no producer instance on record.
+        let m = Machine::r8000();
+        let lp = stencil_loop();
+        let ddg = swp_ir::Ddg::build(&lp, &m);
+        let broken = swp_ir::Schedule::new(4, vec![8, 8, 0, 13]);
+        assert!(broken.validate(&lp, &ddg, &m).is_err(), "broken on purpose");
+        let alloc = match swp_regalloc::allocate(&lp, &broken, &m) {
+            swp_regalloc::AllocOutcome::Allocated(a) => a,
+            swp_regalloc::AllocOutcome::Failed { .. } => unreachable!("tiny loop fits"),
+        };
+        let code = PipelinedLoop::expand(&lp, &broken, &alloc);
+        let err = run_pipelined(&code, 4).expect_err("must not execute");
+        let SimError::UseBeforeDef { consumer, .. } = err;
+        assert_eq!(consumer, lp.ops()[2].id);
+        assert_eq!(err.lint_code(), "SWP-X001");
+        assert!(err.to_string().starts_with("SWP-X001: "));
     }
 
     #[test]

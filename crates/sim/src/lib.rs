@@ -39,6 +39,7 @@
 pub mod interp;
 mod run;
 
+pub use interp::SimError;
 pub use run::{simulate, simulate_baseline, SimResult};
 
 #[cfg(test)]

@@ -195,20 +195,18 @@ mod tests {
         let times = vec![0, 0, 4, 9]; // store in the odd row, loads paired in row 0
         let s2 = swp_ir::Schedule::new(2, times);
         assert_eq!(s2.validate(&lp, &ddg, &m), Ok(()));
-        match swp_regalloc::allocate(&lp, &s2, &m) {
-            swp_regalloc::AllocOutcome::Allocated(a) => {
-                let code = PipelinedLoop::expand(&lp, &s2, &a);
-                let r = simulate(&code, 1000, &m);
-                // Two same-bank refs every II=2 cycles: ~1 stall per iter
-                // once the bellows is saturated.
-                assert!(
-                    r.stall_cycles > 800,
-                    "expected heavy stalling, got {}",
-                    r.stall_cycles
-                );
-            }
-            other => panic!("allocation failed: {other:?}"),
-        }
+        let swp_regalloc::AllocOutcome::Allocated(a) = swp_regalloc::allocate(&lp, &s2, &m) else {
+            unreachable!("tiny loop fits in the register file")
+        };
+        let code = PipelinedLoop::expand(&lp, &s2, &a);
+        let r = simulate(&code, 1000, &m);
+        // Two same-bank refs every II=2 cycles: ~1 stall per iter
+        // once the bellows is saturated.
+        assert!(
+            r.stall_cycles > 800,
+            "expected heavy stalling, got {}",
+            r.stall_cycles
+        );
     }
 
     #[test]

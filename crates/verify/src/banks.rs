@@ -1,0 +1,210 @@
+//! Analyzer 4: the bank audit.
+//!
+//! `heur::bankopt` claims static knowledge of the relative cache bank of
+//! same-row memory references (known-opposite pairs are safe to co-issue;
+//! known-same pairs stall). This analyzer certifies those claims against
+//! the final schedule by brute force: it asks the classifier what it
+//! believes about every co-scheduled pair, then walks the co-issued
+//! iteration instances and computes each reference's actual bank from the
+//! machine's bank model — the same address arithmetic the simulator uses,
+//! derived independently of the classifier's stage-delta algebra.
+
+use crate::diag::Finding;
+use swp_codegen::PipelinedLoop;
+use swp_heur::bankopt::{relative_bank_at, RelBank};
+use swp_ir::{Loop, Op};
+use swp_machine::Machine;
+
+/// Iterations of the steady state to test a claim against. Bank phase for
+/// affine accesses is periodic in at most 16/gcd(stride, 16) ≤ 16
+/// iterations, so 64 covers every pattern with margin.
+const CHECK_ITERS: i64 = 64;
+
+/// Certify one claimed relative-bank relation between ops `a` (issued at
+/// `t_a`) and `b` (at `t_b`) in a schedule of the given II. Returns the
+/// refuting finding, or `None` when the claim holds on every co-issued
+/// instance pair. Exposed so mutation tests can inject wrong claims.
+#[allow(clippy::too_many_arguments)]
+pub fn check_bank_claim(
+    body: &Loop,
+    a: &Op,
+    t_a: i64,
+    b: &Op,
+    t_b: i64,
+    ii: u32,
+    machine: &Machine,
+    claim: RelBank,
+) -> Option<Finding> {
+    let model = machine.bank_model()?;
+    let (am, bm) = (a.mem?, b.mem?);
+    if am.indirect || bm.indirect {
+        return (claim != RelBank::Unknown).then(|| {
+            Finding::error(
+                "SWP-V404",
+                format!(
+                    "static bank claim {claim:?} about indirect reference pair \
+                     (ops {}, {})",
+                    a.id.0, b.id.0
+                ),
+            )
+            .at_op(a.id)
+        });
+    }
+    // Instance i of an op with time t issues at cycle t + i·II, so the
+    // instances sharing a cycle satisfy i_b = i_a + (t_a − t_b)/II.
+    let k = (t_a - t_b) / i64::from(ii);
+    let bank = |m: &swp_ir::MemAccess, i: i64| {
+        let base = body.array(m.array).base_align as i64;
+        model.bank_of((base + m.offset + m.stride * i).rem_euclid(1 << 40) as u64)
+    };
+    let start = 0i64.max(-k);
+    for i_a in start..start + CHECK_ITERS {
+        let i_b = i_a + k;
+        let (ba, bb) = (bank(&am, i_a), bank(&bm, i_b));
+        match claim {
+            RelBank::KnownOpposite if ba == bb => {
+                return Some(
+                    Finding::error(
+                        "SWP-V401",
+                        format!(
+                            "ops {} and {} claimed opposite-bank, but iterations \
+                             {i_a}/{i_b} both hit bank {ba:?}",
+                            a.id.0, b.id.0
+                        ),
+                    )
+                    .at_op(a.id)
+                    .at_cycle(t_a),
+                );
+            }
+            RelBank::KnownSame if ba != bb => {
+                return Some(
+                    Finding::error(
+                        "SWP-V402",
+                        format!(
+                            "ops {} and {} claimed same-bank, but iterations \
+                             {i_a}/{i_b} hit banks {ba:?}/{bb:?}",
+                            a.id.0, b.id.0
+                        ),
+                    )
+                    .at_op(a.id)
+                    .at_cycle(t_a),
+                );
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Audit every same-row memory-reference pair of `code` on `machine`.
+/// Error findings refute a static bank claim. Co-scheduled known-same
+/// pairs are *not* flagged: they cost bellows stalls, not correctness,
+/// and are expected from schedulers without bank heuristics (MOST); the
+/// simulator's stall counts already measure that effect.
+pub fn audit_banks(code: &PipelinedLoop, machine: &Machine) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if machine.bank_model().is_none() {
+        return findings;
+    }
+    let body = code.body();
+    let schedule = code.schedule();
+    let ii = schedule.ii();
+    let mem: Vec<&Op> = body.mem_ops().collect();
+    for (n, &a) in mem.iter().enumerate() {
+        for &b in &mem[n + 1..] {
+            if schedule.row(a.id) != schedule.row(b.id) {
+                continue;
+            }
+            let (t_a, t_b) = (schedule.time(a.id), schedule.time(b.id));
+            let (Some(am), Some(bm)) = (a.mem, b.mem) else {
+                continue;
+            };
+            let claim = relative_bank_at(body, &am, t_a, &bm, t_b, ii);
+            if let Some(f) = check_bank_claim(body, a, t_a, b, t_b, ii, machine, claim) {
+                findings.push(f);
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::LoopBuilder;
+
+    fn two_load_loop(second_offset: i64) -> Loop {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let v = b.load(x, 0, 16);
+        let w = b.load(x, second_offset, 16);
+        let s = b.fadd(v, w);
+        b.store(x, 1_600_000, 16, s);
+        b.finish()
+    }
+
+    #[test]
+    fn true_claims_are_certified() {
+        let m = Machine::r8000();
+        let lp = two_load_loop(8); // 8 mod 16 → opposite banks
+        let (a, b) = (&lp.ops()[0], &lp.ops()[1]);
+        assert_eq!(
+            check_bank_claim(&lp, a, 0, b, 0, 2, &m, RelBank::KnownOpposite),
+            None
+        );
+        let same = two_load_loop(16); // 0 mod 16 → same bank
+        let (a, b) = (&same.ops()[0], &same.ops()[1]);
+        assert_eq!(
+            check_bank_claim(&same, a, 0, b, 0, 2, &m, RelBank::KnownSame),
+            None
+        );
+    }
+
+    #[test]
+    fn false_claims_are_refuted() {
+        let m = Machine::r8000();
+        let same = two_load_loop(16);
+        let (a, b) = (&same.ops()[0], &same.ops()[1]);
+        let f = check_bank_claim(&same, a, 0, b, 0, 2, &m, RelBank::KnownOpposite)
+            .expect("claim must be refuted");
+        assert_eq!(f.code, "SWP-V401");
+        let opposite = two_load_loop(8);
+        let (a, b) = (&opposite.ops()[0], &opposite.ops()[1]);
+        let f = check_bank_claim(&opposite, a, 0, b, 0, 2, &m, RelBank::KnownSame)
+            .expect("claim must be refuted");
+        assert_eq!(f.code, "SWP-V402");
+    }
+
+    #[test]
+    fn stage_shifted_pairs_use_coissued_iterations() {
+        // Stride-8 refs 8 bytes apart: opposite banks when co-issued at
+        // the same stage, but SAME bank when 3 stages apart at II=2 (the
+        // shift subtracts 3 strides: 8 − 24 ≡ 0 mod 16). The brute-force
+        // walk must agree with the classifier's stage-delta algebra.
+        let m = Machine::r8000();
+        let mut bld = LoopBuilder::new("t");
+        let f = bld.array("f", 8);
+        let v = bld.load(f, 8, 8);
+        let w = bld.load(f, 0, 8);
+        let s = bld.fadd(v, w);
+        bld.store(f, 800_000, 8, s);
+        let lp = bld.finish();
+        let (a, b) = (&lp.ops()[0], &lp.ops()[1]);
+        // 3 stages apart: same bank every co-issued instance pair.
+        assert_eq!(
+            relative_bank_at(&lp, &a.mem.unwrap(), 7, &b.mem.unwrap(), 1, 2),
+            RelBank::KnownSame
+        );
+        assert_eq!(
+            check_bank_claim(&lp, a, 7, b, 1, 2, &m, RelBank::KnownSame),
+            None
+        );
+        assert!(check_bank_claim(&lp, a, 7, b, 1, 2, &m, RelBank::KnownOpposite).is_some());
+        // 2 stages apart: opposite again (8 − 16 ≡ 8 mod 16).
+        assert_eq!(
+            check_bank_claim(&lp, a, 5, b, 1, 2, &m, RelBank::KnownOpposite),
+            None
+        );
+        assert!(check_bank_claim(&lp, a, 5, b, 1, 2, &m, RelBank::KnownSame).is_some());
+    }
+}

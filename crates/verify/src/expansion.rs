@@ -1,0 +1,297 @@
+//! Analyzer 3: the expansion audit.
+//!
+//! Proves that the prologue / kernel / epilogue emitted by `swp-codegen`
+//! is a faithful unrolling of the scheduled kernel. The expected instance
+//! sets are rebuilt here from nothing but the schedule: iteration `i`'s
+//! instance of an op with time `t` issues at absolute cycle `i·II + t`,
+//! the prologue holds every instance before the steady state, the kernel
+//! holds exactly one instance per op at its row with stage predicate
+//! `−stage`, and the epilogue drains the last `SC−1` iterations. The
+//! overhead block's loop-entry/exit accounting is cross-checked against
+//! the same derivation.
+
+use std::collections::HashMap;
+
+use crate::diag::Finding;
+use swp_codegen::{CodeOp, PipelinedLoop};
+use swp_machine::RegClass;
+
+/// Registers free per class before save/restore cycles accrue — the model
+/// constant of `swp-codegen` (DESIGN.md §5), restated independently here.
+const FREE_REGS_PER_CLASS: u32 = 16;
+
+/// Compare an emitted section against its expected instance multiset.
+fn diff_section(
+    name: &str,
+    code: &'static str,
+    actual: &[CodeOp],
+    expected: &[CodeOp],
+    findings: &mut Vec<Finding>,
+) {
+    let mut counts: HashMap<(u32, i64, i64), i64> = HashMap::new();
+    for c in expected {
+        *counts.entry((c.op.0, c.iteration, c.cycle)).or_default() += 1;
+    }
+    for c in actual {
+        *counts.entry((c.op.0, c.iteration, c.cycle)).or_default() -= 1;
+    }
+    let mut keys: Vec<_> = counts.into_iter().filter(|&(_, n)| n != 0).collect();
+    keys.sort_unstable_by_key(|&(k, _)| k);
+    for ((op, iteration, cycle), n) in keys {
+        let what = if n > 0 { "missing" } else { "spurious" };
+        findings.push(
+            Finding::error(
+                code,
+                format!(
+                    "{name} {what} instance: op {op} of iteration {iteration} at cycle {cycle}"
+                ),
+            )
+            .at_op(swp_ir::OpId(op))
+            .at_cycle(cycle),
+        );
+    }
+}
+
+/// Audit the expanded form of `code`. Returns one finding per divergence
+/// from the faithful unrolling (empty = certified).
+pub fn audit_expansion(code: &PipelinedLoop) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let body = code.body();
+    let schedule = code.schedule();
+    let ii = i64::from(schedule.ii());
+
+    // Independent span / stage count.
+    let span = body
+        .ops()
+        .iter()
+        .map(|o| schedule.time(o.id))
+        .max()
+        .unwrap_or(0);
+    let sc = span.div_euclid(ii) + 1;
+    if i64::from(code.stage_count()) != sc {
+        findings.push(Finding::error(
+            "SWP-V306",
+            format!(
+                "stage count {} but the schedule spans {} stages",
+                code.stage_count(),
+                sc
+            ),
+        ));
+    }
+
+    // Kernel: exactly one instance per op, at cycle = row, on behalf of
+    // iteration −stage.
+    let by_op: HashMap<u32, Vec<&CodeOp>> =
+        code.kernel().iter().fold(HashMap::new(), |mut m, c| {
+            m.entry(c.op.0).or_default().push(c);
+            m
+        });
+    for op in body.ops() {
+        let t = schedule.time(op.id);
+        let (row, stage) = (t.rem_euclid(ii), t.div_euclid(ii));
+        match by_op.get(&op.id.0).map(Vec::as_slice) {
+            Some([c]) => {
+                if c.cycle != row {
+                    findings.push(
+                        Finding::error(
+                            "SWP-V302",
+                            format!(
+                                "kernel op {} at cycle {} but its row is {row}",
+                                op.id.0, c.cycle
+                            ),
+                        )
+                        .at_op(op.id)
+                        .at_cycle(c.cycle),
+                    );
+                }
+                if c.iteration != -stage {
+                    findings.push(
+                        Finding::error(
+                            "SWP-V303",
+                            format!(
+                                "kernel op {} predicated on iteration {} but its stage is {stage}",
+                                op.id.0, c.iteration
+                            ),
+                        )
+                        .at_op(op.id),
+                    );
+                }
+            }
+            found => {
+                let n = found.map_or(0, <[&CodeOp]>::len);
+                findings.push(
+                    Finding::error(
+                        "SWP-V301",
+                        format!("kernel holds {n} instances of op {} (want 1)", op.id.0),
+                    )
+                    .at_op(op.id),
+                );
+            }
+        }
+    }
+    if code.kernel().len() != body.len() {
+        findings.push(Finding::error(
+            "SWP-V301",
+            format!(
+                "kernel holds {} instructions for a {}-op body",
+                code.kernel().len(),
+                body.len()
+            ),
+        ));
+    }
+
+    // Prologue: every instance issuing before the steady state, i.e.
+    // iteration i of op t whenever i·II + t < (SC−1)·II.
+    let fill_end = (sc - 1) * ii;
+    let mut expected = Vec::new();
+    for op in body.ops() {
+        let t = schedule.time(op.id);
+        let mut i = 0i64;
+        while i * ii + t < fill_end {
+            expected.push(CodeOp {
+                op: op.id,
+                iteration: i,
+                cycle: i * ii + t,
+            });
+            i += 1;
+        }
+    }
+    diff_section(
+        "prologue",
+        "SWP-V304",
+        code.prologue(),
+        &expected,
+        &mut findings,
+    );
+
+    // Epilogue: the drain instances — stage s ≥ 1 of op t lands at cycle
+    // t − s·II when non-negative, on behalf of iteration −s from the end.
+    let mut expected = Vec::new();
+    for op in body.ops() {
+        let t = schedule.time(op.id);
+        for s in 1..sc {
+            let c = t - s * ii;
+            if c >= 0 {
+                expected.push(CodeOp {
+                    op: op.id,
+                    iteration: -s,
+                    cycle: c,
+                });
+            }
+        }
+    }
+    diff_section(
+        "epilogue",
+        "SWP-V305",
+        code.epilogue(),
+        &expected,
+        &mut findings,
+    );
+
+    // Overhead accounting (the loop entry/exit guards): fill, drain,
+    // register save/restore, and instruction counts must all follow from
+    // the schedule and allocation.
+    let oh = code.overhead();
+    if oh.fill_cycles != fill_end {
+        findings.push(Finding::error(
+            "SWP-V306",
+            format!(
+                "fill overhead {} cycles, expected {fill_end}",
+                oh.fill_cycles
+            ),
+        ));
+    }
+    if oh.drain_cycles != span + 1 - ii {
+        findings.push(Finding::error(
+            "SWP-V306",
+            format!(
+                "drain overhead {} cycles, expected {}",
+                oh.drain_cycles,
+                span + 1 - ii
+            ),
+        ));
+    }
+    let reg_save: i64 = RegClass::ALL
+        .iter()
+        .map(|&c| i64::from(code.regs_used(c).saturating_sub(FREE_REGS_PER_CLASS)))
+        .sum();
+    if oh.reg_save_cycles != reg_save {
+        findings.push(Finding::error(
+            "SWP-V306",
+            format!(
+                "register save overhead {} cycles, expected {reg_save}",
+                oh.reg_save_cycles
+            ),
+        ));
+    }
+    if oh.instructions != code.prologue().len() + code.epilogue().len() {
+        findings.push(Finding::error(
+            "SWP-V306",
+            format!(
+                "overhead counts {} fill/drain instructions, but {} were emitted",
+                oh.instructions,
+                code.prologue().len() + code.epilogue().len()
+            ),
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_codegen::CodeSection;
+    use swp_heur::{pipeline, HeurOptions};
+    use swp_ir::LoopBuilder;
+    use swp_machine::Machine;
+
+    fn expanded() -> PipelinedLoop {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v = b.load(x, 0, 8);
+        let w = b.fadd(v, v);
+        b.store(y, 0, 8, w);
+        let lp = b.finish();
+        let p = pipeline(&lp, &m, &HeurOptions::default()).expect("pipelines");
+        PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation)
+    }
+
+    #[test]
+    fn faithful_expansion_is_certified() {
+        assert!(audit_expansion(&expanded()).is_empty());
+    }
+
+    #[test]
+    fn tampered_kernel_cycle_is_rejected() {
+        let code = expanded();
+        let mut op = code.kernel()[0];
+        op.cycle += 1;
+        let bad = code.with_tampered_op(CodeSection::Kernel, 0, op);
+        let fs = audit_expansion(&bad);
+        assert!(fs.iter().any(|f| f.code == "SWP-V302"), "{fs:?}");
+    }
+
+    #[test]
+    fn tampered_prologue_instance_is_rejected() {
+        let code = expanded();
+        assert!(!code.prologue().is_empty(), "SC must exceed 1");
+        let mut op = code.prologue()[0];
+        op.iteration += 1;
+        let bad = code.with_tampered_op(CodeSection::Prologue, 0, op);
+        let fs = audit_expansion(&bad);
+        assert!(fs.iter().any(|f| f.code == "SWP-V304"), "{fs:?}");
+    }
+
+    #[test]
+    fn tampered_epilogue_op_is_rejected() {
+        let code = expanded();
+        assert!(!code.epilogue().is_empty());
+        let mut op = code.epilogue()[0];
+        op.cycle += 1;
+        let bad = code.with_tampered_op(CodeSection::Epilogue, 0, op);
+        let fs = audit_expansion(&bad);
+        assert!(fs.iter().any(|f| f.code == "SWP-V305"), "{fs:?}");
+    }
+}

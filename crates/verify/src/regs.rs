@@ -1,0 +1,305 @@
+//! Analyzer 2: the register audit.
+//!
+//! Recomputes value lifetimes modulo II straight from the allocated kernel
+//! — definition cycle to last use plus II·distance — and proves that no
+//! two simultaneously-live values (across all modulo-renamed kernel
+//! copies) share a physical register, that invariants do not collide with
+//! anything, and that neither MaxLive nor the allocator's own register
+//! count exceeds the machine's file. The live-range and cyclic-interval
+//! arithmetic is re-implemented here rather than imported from
+//! `swp-regalloc`, so a bug in the allocator's interference test cannot
+//! hide itself.
+
+use crate::diag::Finding;
+use swp_ir::{Loop, Schedule, ValueId};
+use swp_machine::{Machine, RegClass};
+use swp_regalloc::Allocation;
+
+/// An independently recomputed live range.
+struct Range {
+    value: ValueId,
+    class: RegClass,
+    start: i64,
+    end: i64,
+}
+
+/// Whether two cyclic half-open intervals `[s, s+len)` of period `period`
+/// intersect; zero-length intervals still occupy their definition cycle.
+fn cyclic_intersect(sa: i64, la: i64, sb: i64, lb: i64, period: i64) -> bool {
+    let (la, lb) = (la.max(1), lb.max(1));
+    if la >= period || lb >= period {
+        return true;
+    }
+    let fwd = (sb.rem_euclid(period) - sa.rem_euclid(period)).rem_euclid(period);
+    fwd < la || (period - fwd) % period < lb
+}
+
+/// Audit `alloc` against `schedule` on `machine`. Returns one finding per
+/// violated property (empty = the allocation is certified).
+pub fn audit_registers(
+    body: &Loop,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    machine: &Machine,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if alloc.ii() != schedule.ii() {
+        findings.push(Finding::error(
+            "SWP-V205",
+            format!(
+                "allocation computed for II={} applied to a schedule with II={}",
+                alloc.ii(),
+                schedule.ii()
+            ),
+        ));
+        return findings;
+    }
+    let ii = i64::from(schedule.ii());
+    let unroll = alloc.unroll().max(1);
+    let period = i64::from(unroll) * ii;
+    let uses = body.uses();
+
+    // Lifetimes from scratch: def cycle to the latest use, carried uses
+    // extended by II·distance.
+    let mut ranges: Vec<Range> = Vec::new();
+    for (v, info) in body.values().iter().enumerate() {
+        let Some(def) = info.def else { continue };
+        let value = ValueId(v as u32);
+        let start = schedule.time(def);
+        let mut end = start;
+        for &(user, idx) in &uses[v] {
+            let operand = body.op(user).operands[idx];
+            end = end.max(schedule.time(user) + ii * i64::from(operand.distance));
+        }
+        ranges.push(Range {
+            value,
+            class: info.class,
+            start,
+            end,
+        });
+    }
+
+    // Every (value, kernel copy) must have an in-file register.
+    for r in &ranges {
+        for copy in 0..unroll {
+            match alloc.reg_of(r.value, copy) {
+                None => findings.push(Finding::error(
+                    "SWP-V201",
+                    format!("value {} copy {copy} has no register", r.value.0),
+                )),
+                Some(reg) if reg >= machine.allocatable(r.class) => {
+                    findings.push(Finding::error(
+                        "SWP-V206",
+                        format!(
+                            "value {} copy {copy} assigned register {reg} beyond the \
+                             {} allocatable {:?} registers",
+                            r.value.0,
+                            machine.allocatable(r.class),
+                            r.class
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // No two simultaneously-live renamed copies may share a register.
+    // Copy c of a value starting at s lives on [s + c·II, s + c·II + span)
+    // cyclically in the unrolled steady state of period unroll·II.
+    let instances: Vec<(usize, u32)> = ranges
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| (0..unroll).map(move |c| (i, c)))
+        .collect();
+    for (n, &(i, ci)) in instances.iter().enumerate() {
+        for &(j, cj) in &instances[n + 1..] {
+            let (a, b) = (&ranges[i], &ranges[j]);
+            if a.class != b.class {
+                continue;
+            }
+            let (sa, sb) = (a.start + i64::from(ci) * ii, b.start + i64::from(cj) * ii);
+            if !cyclic_intersect(sa, a.end - a.start, sb, b.end - b.start, period) {
+                continue;
+            }
+            if let (Some(ra), Some(rb)) = (alloc.reg_of(a.value, ci), alloc.reg_of(b.value, cj)) {
+                if ra == rb {
+                    findings.push(Finding::error(
+                        "SWP-V202",
+                        format!(
+                            "values {} (copy {ci}) and {} (copy {cj}) are live \
+                             simultaneously but share register {ra}",
+                            a.value.0, b.value.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Referenced invariants hold their register for the whole loop, so
+    // they must avoid every variant register of their class and each other.
+    let mut invariants: Vec<(ValueId, RegClass, u32)> = Vec::new();
+    for (v, info) in body.values().iter().enumerate() {
+        if !info.is_invariant() || uses[v].is_empty() {
+            continue;
+        }
+        let value = ValueId(v as u32);
+        match alloc.reg_of_invariant(value) {
+            None => findings.push(Finding::error(
+                "SWP-V201",
+                format!("invariant {} has no register", value.0),
+            )),
+            Some(reg) if reg >= machine.allocatable(info.class) => {
+                findings.push(Finding::error(
+                    "SWP-V206",
+                    format!(
+                        "invariant {} assigned register {reg} beyond the {} allocatable \
+                         {:?} registers",
+                        value.0,
+                        machine.allocatable(info.class),
+                        info.class
+                    ),
+                ));
+            }
+            Some(reg) => invariants.push((value, info.class, reg)),
+        }
+    }
+    for (n, &(va, ca, ra)) in invariants.iter().enumerate() {
+        for &(vb, cb, rb) in &invariants[n + 1..] {
+            if ca == cb && ra == rb {
+                findings.push(Finding::error(
+                    "SWP-V203",
+                    format!("invariants {} and {} share register {ra}", va.0, vb.0),
+                ));
+            }
+        }
+        for r in &ranges {
+            if r.class != ca {
+                continue;
+            }
+            for copy in 0..unroll {
+                if alloc.reg_of(r.value, copy) == Some(ra) {
+                    findings.push(Finding::error(
+                        "SWP-V203",
+                        format!(
+                            "invariant {} and value {} (copy {copy}) share register {ra}",
+                            va.0, r.value.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // MaxLive (per-row simultaneous copies plus invariants) and the
+    // allocator's own register count must fit the file.
+    let rows = schedule.ii() as usize;
+    let mut live = vec![[0u32; 2]; rows];
+    let class_ix = |c: RegClass| usize::from(c == RegClass::Int);
+    for r in &ranges {
+        if r.end == r.start {
+            live[(r.start.rem_euclid(ii)) as usize][class_ix(r.class)] += 1;
+            continue;
+        }
+        for c in r.start..r.end {
+            live[(c.rem_euclid(ii)) as usize][class_ix(r.class)] += 1;
+        }
+    }
+    let mut inv_count = [0u32; 2];
+    for &(_, c, _) in &invariants {
+        inv_count[class_ix(c)] += 1;
+    }
+    for class in RegClass::ALL {
+        let peak = live
+            .iter()
+            .map(|row| row[class_ix(class)])
+            .max()
+            .unwrap_or(0)
+            + inv_count[class_ix(class)];
+        if peak > machine.allocatable(class) {
+            findings.push(Finding::error(
+                "SWP-V204",
+                format!(
+                    "MaxLive {peak} exceeds the {} allocatable {class:?} registers",
+                    machine.allocatable(class)
+                ),
+            ));
+        }
+        if alloc.regs_used(class) > machine.allocatable(class) {
+            findings.push(Finding::error(
+                "SWP-V204",
+                format!(
+                    "allocation claims {} {class:?} registers of {} allocatable",
+                    alloc.regs_used(class),
+                    machine.allocatable(class)
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ir::LoopBuilder;
+    use swp_regalloc::{allocate, AllocOutcome};
+
+    fn allocated() -> (Loop, Schedule, Allocation) {
+        let m = Machine::r8000();
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let v1 = b.load(x, 0, 8);
+        let v2 = b.load(y, 0, 8);
+        let s = b.fmadd(v1, v2, v1);
+        b.store(y, 800, 8, s);
+        let lp = b.finish();
+        let sched = Schedule::new(2, vec![0, 1, 4, 8]);
+        let AllocOutcome::Allocated(a) = allocate(&lp, &sched, &m) else {
+            unreachable!("tiny loop fits");
+        };
+        (lp, sched, a)
+    }
+
+    #[test]
+    fn real_allocation_is_certified() {
+        let m = Machine::r8000();
+        let (lp, sched, a) = allocated();
+        assert!(audit_registers(&lp, &sched, &a, &m).is_empty());
+    }
+
+    #[test]
+    fn out_of_file_register_is_rejected() {
+        let m = Machine::r8000();
+        let (lp, sched, a) = allocated();
+        let v = lp.ops()[0].result.expect("load result");
+        let bad = a.with_assignment(v, 0, 999);
+        let fs = audit_registers(&lp, &sched, &bad, &m);
+        assert!(fs.iter().any(|f| f.code == "SWP-V206"), "{fs:?}");
+    }
+
+    #[test]
+    fn aliased_live_ranges_are_rejected() {
+        let m = Machine::r8000();
+        let (lp, sched, a) = allocated();
+        // Both loads are live into the fmadd at cycle 4; forcing copy 0 of
+        // the second onto copy 0 of the first must be caught.
+        let v1 = lp.ops()[0].result.expect("load result");
+        let v2 = lp.ops()[1].result.expect("load result");
+        let shared = a.reg_of(v1, 0).expect("allocated");
+        let bad = a.with_assignment(v2, 0, shared);
+        let fs = audit_registers(&lp, &sched, &bad, &m);
+        assert!(fs.iter().any(|f| f.code == "SWP-V202"), "{fs:?}");
+    }
+
+    #[test]
+    fn ii_mismatch_is_rejected() {
+        let m = Machine::r8000();
+        let (lp, _, a) = allocated();
+        let other = Schedule::new(3, vec![0, 1, 4, 8]);
+        let fs = audit_registers(&lp, &other, &a, &m);
+        assert!(fs.iter().any(|f| f.code == "SWP-V205"), "{fs:?}");
+    }
+}

@@ -79,7 +79,7 @@ fn pipelined_execution_is_functionally_sequential() {
             .unwrap_or_else(|e| panic!("kernel {}: {e}", k.number));
         let trips = 24;
         let seq = run_sequential(c.code.body(), trips);
-        let pip = run_pipelined(&c.code, trips);
+        let pip = run_pipelined(&c.code, trips).expect("schedule preserves dependences");
         assert!(
             seq.approx_eq(&pip, 0.0),
             "kernel {} ({}) pipelined execution diverged",
@@ -108,7 +108,7 @@ fn ilp_scheduled_execution_is_functionally_sequential() {
             compile_loop(&k.body, &m, &most).unwrap_or_else(|e| panic!("kernel {}: {e}", k.number));
         let trips = 24;
         let seq = run_sequential(c.code.body(), trips);
-        let pip = run_pipelined(&c.code, trips);
+        let pip = run_pipelined(&c.code, trips).expect("schedule preserves dependences");
         assert!(
             seq.approx_eq(&pip, 0.0),
             "kernel {} ({}) ILP-pipelined execution diverged (fell_back={})",
@@ -183,7 +183,7 @@ fn spilling_round_trips_semantics_end_to_end() {
     // the spill arrays the transformed body introduces.
     let original_arrays = k7.body.arrays().len() as u32;
     let seq = run_sequential(&k7.body, trips);
-    let pip = run_pipelined(&c.code, trips);
+    let pip = run_pipelined(&c.code, trips).expect("schedule preserves dependences");
     let sw: Vec<_> = seq.written();
     let pw: Vec<_> = pip
         .written()

@@ -64,7 +64,7 @@ proptest! {
             // end_to_end.rs covers original-vs-spilled).
             let body = c.code.body();
             let seq = run_sequential(body, 12);
-            let pip = run_pipelined(&c.code, 12);
+            let pip = run_pipelined(&c.code, 12).expect("schedule preserves dependences");
             prop_assert!(seq.approx_eq(&pip, 0.0), "issue-order execution diverged");
         }
     }
