@@ -7,12 +7,17 @@
 //! ```
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
-//! ii-compare ablation-order ablation-iisearch ablation-spill speedup all
-//! audit`.
+//! ii-compare solver ablation-order ablation-iisearch ablation-spill
+//! speedup all audit`.
 //!
 //! `audit` (not part of `all`) compiles every suite loop under both
 //! schedulers at full verification and prints a findings table; with `-D`
 //! any finding exits nonzero, which is how CI enforces zero findings.
+//!
+//! `solver` (not part of `all`) prints MOST's deterministic node/pivot
+//! work counters over the Livermore kernels; with `--gate` it exits
+//! nonzero when any committed work floor is violated, which is how CI
+//! catches solver-efficiency regressions without trusting wall clocks.
 //!
 //! Result figures run on a shared parallel [`Driver`] (`--threads N`,
 //! default: all cores) whose schedule cache carries compiles across
@@ -26,7 +31,7 @@ use showdown::Driver;
 use swp_bench::{
     ablation_ii_search, ablation_order, ablation_spill, audit_with, compile_speed, driver_speedup,
     fig2_geomean, fig2_with, fig3_with, fig4_with, fig5_with, fig6_fig7_with, ii_compare_with,
-    loop_size, Effort,
+    loop_size, solver_gate, solver_speed, Effort,
 };
 use swp_heur::PriorityHeuristic;
 use swp_machine::Machine;
@@ -266,6 +271,54 @@ fn main() {
             "high-pressure loops pipelined with spilling: {}/{}; without: {}/{}\n",
             a.with_spilling, a.total, a.without_spilling, a.total
         );
+    }
+
+    if cmd == "solver" {
+        let gate = args.iter().any(|a| a == "--gate");
+        println!("== Solver speed: MOST work counters, 24 Livermore kernels ==");
+        println!("(deterministic quick budgets, fallback off — counters reproduce exactly)");
+        println!(
+            "{:<4} {:<28} {:>4} {:>6} {:>8} {:>10} {:>10}",
+            "k", "name", "ops", "ii", "nodes", "pivots", "piv/node"
+        );
+        let s = solver_speed(&m);
+        for r in &s.rows {
+            let ii = r.ii.map_or_else(|| "-".to_owned(), |ii| ii.to_string());
+            println!(
+                "{:<4} {:<28} {:>4} {:>6} {:>8} {:>10} {:>10.2}",
+                r.number,
+                r.name,
+                r.ops,
+                ii,
+                r.nodes,
+                r.pivots,
+                r.pivots as f64 / r.nodes.max(1) as f64
+            );
+        }
+        println!(
+            "solved {}/{}; total {} nodes, {} pivots; {:.2} pivots/node",
+            s.solved(),
+            s.rows.len(),
+            s.total_nodes(),
+            s.total_pivots(),
+            s.pivots_per_node()
+        );
+        println!(
+            "gate floors: solved >= {}, nodes <= {}, pivots <= {}, pivots/node <= {}",
+            solver_gate::MIN_SOLVED,
+            solver_gate::MAX_TOTAL_NODES,
+            solver_gate::MAX_TOTAL_PIVOTS,
+            solver_gate::MAX_PIVOTS_PER_NODE
+        );
+        match s.gate() {
+            Ok(()) => println!("gate: ok"),
+            Err(e) => {
+                println!("gate: FAIL — {e}");
+                if gate {
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     if cmd == "audit" {

@@ -27,12 +27,25 @@ pub enum Effort {
 
 impl Effort {
     /// MOST options for this effort level.
+    ///
+    /// `Quick` is **fully deterministic**: its budgets are node and pivot
+    /// counts only, with every wall-clock limit disabled, so quick-effort
+    /// results (tests, CI gates, the schedule cache) are identical on any
+    /// host at any load. `Full` keeps the paper's wall-clock regime —
+    /// results that truncate there carry `deadline_hit` and are not
+    /// memoized.
     pub fn most_options(self) -> MostOptions {
         match self {
             Effort::Quick => MostOptions {
                 node_limit: 20_000,
-                time_limit: Some(Duration::from_millis(500)),
-                loop_time_limit: Some(Duration::from_secs(4)),
+                pivot_limit: 400_000,
+                time_limit: None,
+                loop_time_limit: None,
+                // The deterministic ladder cap: ~3 full solves' worth of
+                // pivots across all IIs tried for one loop, so a loop
+                // whose schedules keep failing allocation cannot grind
+                // through every II to MaxII at full budget.
+                loop_pivot_limit: Some(1_200_000),
                 max_ops: 64,
                 ..MostOptions::default()
             },
@@ -665,6 +678,158 @@ pub fn audit_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<Aud
     })
 }
 
+/// One row of the `experiments solver` table: one Livermore kernel solved
+/// by MOST (no fallback) under the deterministic quick budgets, with the
+/// solver's work counters.
+#[derive(Debug, Clone)]
+pub struct SolverRow {
+    /// Kernel number (1-24).
+    pub number: u32,
+    /// Kernel name.
+    pub name: &'static str,
+    /// Operations in the loop body.
+    pub ops: usize,
+    /// Achieved II, when MOST scheduled the loop within budget.
+    pub ii: Option<u32>,
+    /// Branch-and-bound nodes across all solves for this kernel.
+    pub nodes: u64,
+    /// Simplex pivots across all solves for this kernel.
+    pub pivots: u64,
+}
+
+/// The `experiments solver` speed table: deterministic solver-work
+/// counters over the 24 Livermore kernels. Because the quick budgets are
+/// pure node/pivot counts (no wall clock), every field reproduces exactly
+/// on any machine — which is what lets CI gate on them.
+#[derive(Debug, Clone)]
+pub struct SolverSpeed {
+    /// Per-kernel rows, kernel order.
+    pub rows: Vec<SolverRow>,
+}
+
+/// Committed floors for the CI solver-speed gate (see
+/// [`SolverSpeed::gate`]). These are deliberately loose — roughly 2× the
+/// measured values — so they only trip on a real efficiency regression,
+/// not on a legitimate formulation change; update them alongside any
+/// intentional solver change.
+pub mod solver_gate {
+    /// Every Livermore kernel must schedule without fallback under the
+    /// deterministic quick budgets.
+    pub const MIN_SOLVED: usize = 24;
+    /// Ceiling on total branch-and-bound nodes across all 24 kernels
+    /// (measured: 36,343).
+    pub const MAX_TOTAL_NODES: u64 = 75_000;
+    /// Ceiling on total simplex pivots across all 24 kernels
+    /// (measured: 175,623).
+    pub const MAX_TOTAL_PIVOTS: u64 = 350_000;
+    /// Ceiling on average pivots per node — the warm-start payoff. A
+    /// cold-solving branch-and-bound pays on the order of the basis
+    /// dimension in pivots at every node (hundreds, for these models);
+    /// the warm dual path measures 4.83 across the suite and must stay
+    /// far below cold cost.
+    pub const MAX_PIVOTS_PER_NODE: f64 = 10.0;
+}
+
+impl SolverSpeed {
+    /// Kernels MOST scheduled within budget.
+    pub fn solved(&self) -> usize {
+        self.rows.iter().filter(|r| r.ii.is_some()).count()
+    }
+
+    /// Total branch-and-bound nodes.
+    pub fn total_nodes(&self) -> u64 {
+        self.rows.iter().map(|r| r.nodes).sum()
+    }
+
+    /// Total simplex pivots.
+    pub fn total_pivots(&self) -> u64 {
+        self.rows.iter().map(|r| r.pivots).sum()
+    }
+
+    /// Average simplex pivots per branch-and-bound node (the
+    /// warm-start efficiency measure).
+    pub fn pivots_per_node(&self) -> f64 {
+        self.total_pivots() as f64 / self.total_nodes().max(1) as f64
+    }
+
+    /// Check the committed [`solver_gate`] floors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated floor.
+    pub fn gate(&self) -> Result<(), String> {
+        if self.solved() < solver_gate::MIN_SOLVED {
+            return Err(format!(
+                "only {}/{} kernels solved (floor {})",
+                self.solved(),
+                self.rows.len(),
+                solver_gate::MIN_SOLVED
+            ));
+        }
+        if self.total_nodes() > solver_gate::MAX_TOTAL_NODES {
+            return Err(format!(
+                "total nodes {} exceeds ceiling {}",
+                self.total_nodes(),
+                solver_gate::MAX_TOTAL_NODES
+            ));
+        }
+        if self.total_pivots() > solver_gate::MAX_TOTAL_PIVOTS {
+            return Err(format!(
+                "total pivots {} exceeds ceiling {}",
+                self.total_pivots(),
+                solver_gate::MAX_TOTAL_PIVOTS
+            ));
+        }
+        if self.pivots_per_node() > solver_gate::MAX_PIVOTS_PER_NODE {
+            return Err(format!(
+                "{:.2} pivots/node exceeds ceiling {}",
+                self.pivots_per_node(),
+                solver_gate::MAX_PIVOTS_PER_NODE
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The `experiments solver` table: run MOST (fallback disabled) over the
+/// 24 Livermore kernels under smoke-test-sized deterministic budgets and
+/// record node/pivot work per kernel. The budgets are deliberately
+/// tighter than [`Effort::Quick`]'s: a gate must be cheap enough to run
+/// on every CI push, and a solver-efficiency regression shows up at any
+/// budget size.
+pub fn solver_speed(machine: &Machine) -> SolverSpeed {
+    let opts = MostOptions {
+        fallback: false,
+        node_limit: 2_000,
+        pivot_limit: 20_000,
+        time_limit: None,
+        loop_time_limit: None,
+        ..MostOptions::default()
+    };
+    let rows = livermore()
+        .into_iter()
+        .map(|k| match swp_most::pipeline_most(&k.body, machine, &opts) {
+            Ok(r) => SolverRow {
+                number: k.number,
+                name: k.name,
+                ops: k.body.len(),
+                ii: Some(r.ii()),
+                nodes: r.stats.nodes,
+                pivots: r.stats.pivots,
+            },
+            Err(_) => SolverRow {
+                number: k.number,
+                name: k.name,
+                ops: k.body.len(),
+                ii: None,
+                nodes: 0,
+                pivots: 0,
+            },
+        })
+        .collect();
+    SolverSpeed { rows }
+}
+
 /// Ablation (§3.3 adj. 3): MOST with and without priority-order branching.
 #[derive(Debug, Clone, Copy)]
 pub struct OrderAblation {
@@ -838,6 +1003,25 @@ mod tests {
                 "{} not catastrophically hurt: {}",
                 r.name,
                 r.improvement
+            );
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "integration-scale; run with --release")]
+    fn solver_gate_holds_and_reproduces_exactly() {
+        let m = Machine::r8000();
+        let a = solver_speed(&m);
+        a.gate().unwrap_or_else(|e| panic!("solver gate: {e}"));
+        // Deterministic budgets: a second run must produce bit-identical
+        // work counters, not merely pass the gate.
+        let b = solver_speed(&m);
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(
+                (x.ii, x.nodes, x.pivots),
+                (y.ii, y.nodes, y.pivots),
+                "{}",
+                x.name
             );
         }
     }

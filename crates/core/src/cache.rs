@@ -25,7 +25,14 @@
 //!
 //! Errors are cached too: a loop MOST cannot schedule under given
 //! budgets fails identically on re-query (budget options are part of the
-//! key, so raising the budget creates a fresh entry).
+//! key, so raising the budget creates a fresh entry). The one exception
+//! is **wall-clock truncation**: a result (success *or* failure) whose
+//! search was cut short by a deadline depends on host load, not on the
+//! key, so memoizing it would pin a transient outcome for the whole
+//! process lifetime. Such results are returned to the caller but never
+//! enter the table — a re-query recompiles. Deterministic budgets
+//! (`node_limit`, `pivot_limit`) never set that flag and stay fully
+//! memoizable.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -157,6 +164,7 @@ fn fold_most_options(h: &mut StableHasher, opts: &MostOptions) {
     h.byte(b'M');
     h.bool(opts.minimize_buffers);
     h.u64(opts.node_limit);
+    h.u64(opts.pivot_limit);
     h.opt_u64(
         opts.time_limit
             .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
@@ -214,6 +222,21 @@ enum Slot {
     Pending,
     /// The memoized outcome.
     Ready(Result<Arc<CompiledLoop>, CompileError>),
+}
+
+/// Whether a compile outcome was truncated by a wall-clock deadline and
+/// therefore depends on host load. Transient results must not be
+/// memoized: under PR 1's unconditional error memoization a timeout on a
+/// loaded host would pin the failure for the whole process, flaking
+/// determinism tests whose budgets were generous enough on a quiet run.
+fn is_transient(result: &Result<Arc<CompiledLoop>, CompileError>) -> bool {
+    match result {
+        Ok(c) => c.stats.deadline_hit,
+        Err(CompileError::Ilp(swp_most::MostError::NoSchedule { deadline_hit, .. })) => {
+            *deadline_hit
+        }
+        Err(_) => false,
+    }
 }
 
 /// Aggregate cache counters, for reporting hit rates.
@@ -277,7 +300,8 @@ impl ScheduleCache {
     /// # Errors
     ///
     /// Propagates (and memoizes) [`CompileError`] from the underlying
-    /// compile.
+    /// compile. Deadline-truncated outcomes are propagated but *not*
+    /// memoized (see the module docs).
     pub fn get_or_compile_with(
         &self,
         lp: &Loop,
@@ -306,7 +330,15 @@ impl ScheduleCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = compile_loop_with(lp, machine, options).map(Arc::new);
         let mut slots = self.slots.lock().expect("cache lock");
-        slots.insert(key, Slot::Ready(result.clone()));
+        if is_transient(&result) {
+            // Deadline-truncated outcome: hand it to this caller but do
+            // not memoize — drop the Pending slot so waiters (and future
+            // requests) recompile instead of inheriting a host-load
+            // artifact.
+            slots.remove(&key);
+        } else {
+            slots.insert(key, Slot::Ready(result.clone()));
+        }
         self.ready.notify_all();
         result
     }
@@ -508,5 +540,100 @@ mod tests {
         assert!(first.is_err());
         assert_eq!(first.err(), second.err());
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn deadline_truncated_failures_are_not_memoized() {
+        // A zero wall-clock budget forces the deadline path
+        // deterministically; a failure it causes must not be pinned in
+        // the table, or a transient timeout on a loaded host would
+        // poison every later query of the same key.
+        let m = Machine::r8000();
+        let cache = ScheduleCache::new();
+        let lp = saxpy("s");
+        let choice = SchedulerChoice::IlpWith(MostOptions {
+            loop_time_limit: Some(std::time::Duration::ZERO),
+            fallback: false,
+            ..MostOptions::default()
+        });
+        let first = cache.get_or_compile(&lp, &m, &choice);
+        let second = cache.get_or_compile(&lp, &m, &choice);
+        for r in [&first, &second] {
+            assert!(
+                matches!(
+                    r,
+                    Err(CompileError::Ilp(swp_most::MostError::NoSchedule {
+                        deadline_hit: true,
+                        ..
+                    }))
+                ),
+                "expected deadline-truncated failure, got {r:?}"
+            );
+        }
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 0, misses: 2 },
+            "both requests must recompile"
+        );
+        assert!(cache.is_empty(), "no entry may be memoized");
+    }
+
+    #[test]
+    fn deadline_truncated_successes_are_not_memoized_either() {
+        // With the fallback on, a zero loop budget still yields a valid
+        // schedule (the heuristic's), but one flagged deadline_hit: the
+        // *decision to fall back* was host-dependent, so the result is
+        // just as unmemoizable as a failure.
+        let m = Machine::r8000();
+        let cache = ScheduleCache::new();
+        let lp = saxpy("s");
+        let choice = SchedulerChoice::IlpWith(MostOptions {
+            loop_time_limit: Some(std::time::Duration::ZERO),
+            fallback: true,
+            ..MostOptions::default()
+        });
+        let first = cache.get_or_compile(&lp, &m, &choice).expect("fallback");
+        assert!(first.stats.deadline_hit);
+        assert!(first.stats.fell_back);
+        let second = cache.get_or_compile(&lp, &m, &choice).expect("fallback");
+        assert!(!Arc::ptr_eq(&first, &second), "second request recompiled");
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn deterministic_budget_truncation_is_memoized() {
+        // Node/pivot budgets are pure work measures: truncation by them
+        // reproduces exactly, so those results stay cacheable.
+        let m = Machine::r8000();
+        let cache = ScheduleCache::new();
+        let lp = saxpy("s");
+        let choice = SchedulerChoice::IlpWith(MostOptions {
+            node_limit: 1,
+            pivot_limit: 10,
+            time_limit: None,
+            loop_time_limit: None,
+            fallback: true,
+            ..MostOptions::default()
+        });
+        let first = cache.get_or_compile(&lp, &m, &choice).expect("schedules");
+        assert!(!first.stats.deadline_hit);
+        let second = cache.get_or_compile(&lp, &m, &choice).expect("schedules");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn pivot_limit_is_part_of_the_key() {
+        let m = Machine::r8000();
+        let lp = saxpy("s");
+        let tweaked = MostOptions {
+            pivot_limit: 1234,
+            ..MostOptions::default()
+        };
+        assert_ne!(
+            cache_key(&lp, &m, &SchedulerChoice::Ilp),
+            cache_key(&lp, &m, &SchedulerChoice::IlpWith(tweaked))
+        );
     }
 }

@@ -66,6 +66,12 @@ pub struct CompileStats {
     pub optimal: bool,
     /// Branch-and-bound nodes (ILP) or backtracks (heuristic).
     pub search_effort: u64,
+    /// Simplex pivots across all ILP solves (0 for the heuristic). The
+    /// deterministic fine-grained work measure behind `pivot_limit`.
+    pub pivots: u64,
+    /// Whether a wall-clock deadline truncated the search. Such results
+    /// depend on host load; the schedule cache refuses to memoize them.
+    pub deadline_hit: bool,
     /// Values spilled (heuristic only).
     pub spills: u32,
     /// Nanoseconds in the pipeliner proper (II search + scheduling),
@@ -166,6 +172,8 @@ fn compile_heur(
             fell_back: false,
             optimal: false,
             search_effort: u64::from(p.stats.backtracks),
+            pivots: 0,
+            deadline_hit: false,
             spills: p.stats.spills,
             sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
             alloc_ns: p.stats.alloc_ns,
@@ -194,6 +202,8 @@ fn compile_ilp(
             fell_back: p.stats.fell_back,
             optimal: p.stats.optimal_ii,
             search_effort: p.stats.nodes,
+            pivots: p.stats.pivots,
+            deadline_hit: p.stats.deadline_hit,
             spills: 0,
             sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
             alloc_ns: p.stats.alloc_ns,

@@ -2,13 +2,17 @@
 //!
 //! The paper's "optimal" pipeliner (MOST, §3) formulates modulo scheduling
 //! as an integer linear program and hands it to "one of a number of
-//! standard ILP solving packages". This crate is that package: a dense
-//! two-phase primal [`solve_lp`] simplex and a depth-first branch-and-bound
-//! wrapper ([`solve_ilp`]) with
+//! standard ILP solving packages". This crate is that package: a revised
+//! simplex over bounded variables with an explicit basis inverse
+//! ([`LpEngine`], one-shot entry point [`solve_lp`]) and a depth-first
+//! branch-and-bound wrapper ([`solve_ilp`]) with
 //!
+//! - **warm-started dual re-solves**: every node shares one engine, and a
+//!   child differs from its parent only in a variable bound, so node LPs
+//!   re-solve in a few dual pivots from the inherited basis,
 //! - incumbent tracking and best-bound pruning,
-//! - node and deterministic work budgets (wall-clock limits are applied by
-//!   callers, keeping solver behaviour reproducible in tests),
+//! - deterministic node *and pivot* budgets (wall-clock limits are opt-in
+//!   and flagged separately, keeping solver behaviour reproducible),
 //! - a caller-supplied **branching priority order** — the hook §3.3(3) of
 //!   the paper identifies as "by far the most important factor" for
 //!   solving the scheduling ILPs.
@@ -38,7 +42,7 @@ mod simplex;
 
 pub use bb::{solve_ilp, IlpResult, SolveOptions, Status};
 pub use model::{ConstraintOp, Model, Sense, VarId, VarKind};
-pub use simplex::{solve_lp, LpOutcome, LpSolution};
+pub use simplex::{solve_lp, LpEngine, LpOutcome, LpSolution};
 
 #[cfg(test)]
 mod tests {

@@ -65,11 +65,11 @@ pub(crate) struct Constraint {
 
 /// An ILP/LP model under construction.
 ///
-/// Variables are non-negative; binaries carry an implicit `≤ 1`. The solver
-/// detects binaries whose upper bound is implied by a set-partitioning row
-/// (`Σ x = 1` with non-negative coefficients) and omits the explicit bound
-/// row — the modulo-scheduling assignment constraints have exactly this
-/// form, which keeps the tableaux small.
+/// Variables are non-negative; binaries carry an implicit `≤ 1`. Bounds of
+/// any kind never become solver rows: the revised simplex handles them
+/// directly as bounded variables, and single-variable constraints (the
+/// modulo-scheduling stage bounds, for instance) are folded into variable
+/// bounds as well — only genuinely multi-variable rows cost pivot work.
 #[derive(Debug, Clone)]
 pub struct Model {
     pub(crate) sense: Sense,
@@ -171,23 +171,6 @@ impl Model {
         }
         self.constraints.push(Constraint { terms, op, rhs });
     }
-
-    /// The binary variables whose `≤ 1` bound is implied by an equality row
-    /// `Σ c_j x_j = 1` with all `c_j ≥ 1` (set-partitioning style).
-    pub(crate) fn implied_binary_upper(&self) -> Vec<bool> {
-        let mut implied = vec![false; self.vars.len()];
-        for c in &self.constraints {
-            let qualifies = c.op == ConstraintOp::Eq
-                && (c.rhs - 1.0).abs() < 1e-12
-                && c.terms.iter().all(|&(_, a)| a >= 1.0 - 1e-12);
-            if qualifies {
-                for &(v, _) in &c.terms {
-                    implied[v.index()] = true;
-                }
-            }
-        }
-        implied
-    }
 }
 
 impl fmt::Display for Model {
@@ -227,19 +210,6 @@ mod tests {
         let x = m.continuous("x");
         m.add_le([(x, 1.0), (x, 2.0)], 5.0);
         assert_eq!(m.constraints[0].terms, vec![(x, 3.0)]);
-    }
-
-    #[test]
-    fn implied_binary_detection() {
-        let mut m = Model::new(Sense::Minimize);
-        let a = m.binary("a");
-        let b = m.binary("b");
-        let c = m.binary("c");
-        m.add_eq([(a, 1.0), (b, 1.0)], 1.0);
-        m.add_le([(c, 1.0)], 1.0);
-        let implied = m.implied_binary_upper();
-        assert!(implied[a.index()] && implied[b.index()]);
-        assert!(!implied[c.index()]);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Warm-started dual re-solves must agree with cold solves.
+//!
+//! The branch-and-bound correctness argument rests on one property: after
+//! any sequence of bound changes, a warm [`LpEngine`] re-solve reaches the
+//! same feasibility verdict and the same optimal objective as a fresh
+//! engine solving the same bounds from scratch. This file checks that
+//! property over random models and random single-bound changes — exactly
+//! the perturbation shape a branch-and-bound node applies.
+
+use proptest::prelude::*;
+use swp_ilp::{LpEngine, LpOutcome, Model, Sense};
+
+/// Small deterministic generator (SplitMix64) so one `u64` seed strategy
+/// yields a whole random LP — the vendored proptest shim has no
+/// collection strategies.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
+
+struct RandomLp {
+    model: Model,
+    nvars: usize,
+    upper: Vec<f64>,
+    /// Bound changes to apply one at a time: (var, new_lo, new_hi).
+    changes: Vec<(usize, f64, f64)>,
+}
+
+fn random_lp(seed: u64) -> RandomLp {
+    let mut g = Gen(seed);
+    let nvars = 2 + g.below(4);
+    let nrows = 1 + g.below(5);
+    let sense = if g.below(2) == 0 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut m = Model::new(sense);
+    let vars: Vec<_> = (0..nvars).map(|j| m.continuous(&format!("x{j}"))).collect();
+    m.set_objective(vars.iter().map(|&v| (v, g.range(0.0, 4.0))));
+    for _ in 0..nrows {
+        let nterms = 1 + g.below(nvars);
+        let terms: Vec<_> = (0..nterms)
+            .map(|_| (vars[g.below(nvars)], g.range(-3.0, 3.0)))
+            .collect();
+        let rhs = g.range(-4.0, 8.0);
+        match g.below(3) {
+            0 => m.add_le(terms, rhs),
+            1 => m.add_ge(terms, rhs),
+            _ => m.add_eq(terms, rhs),
+        }
+    }
+    let upper: Vec<f64> = (0..nvars).map(|_| g.range(0.5, 10.0)).collect();
+    let changes: Vec<_> = (0..1 + g.below(4))
+        .map(|_| {
+            let j = g.below(nvars);
+            let a = g.range(0.0, 3.0);
+            let b = g.range(0.0, 6.0);
+            (j, a.min(b), a.max(b).max(a.min(b) + 0.25))
+        })
+        .collect();
+    RandomLp {
+        model: m,
+        nvars,
+        upper,
+        changes,
+    }
+}
+
+fn verdict(o: &LpOutcome) -> &'static str {
+    match o {
+        LpOutcome::Optimal(_) => "optimal",
+        LpOutcome::Infeasible => "infeasible",
+        LpOutcome::Unbounded => "unbounded",
+        LpOutcome::IterLimit => "limit",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// After each single-bound change, a warm re-solve matches a cold
+    /// solve of the same bounds: identical verdict, objective within 1e-6.
+    #[test]
+    fn warm_resolve_matches_cold(seed in 0u64..1_000_000_000) {
+        let lp = random_lp(seed);
+        let mut warm = LpEngine::new(&lp.model);
+        let mut lower = vec![0.0; lp.nvars];
+        let mut upper = lp.upper.clone();
+        // Establish the warm basis at the root bounds.
+        let root = warm.solve(&lower, &upper);
+        let cold_root = LpEngine::new(&lp.model).solve(&lower, &upper);
+        prop_assert_eq!(verdict(&root), verdict(&cold_root), "seed {} root", seed);
+        for &(j, lo, hi) in &lp.changes {
+            lower[j] = lo;
+            upper[j] = hi;
+            let w = warm.solve(&lower, &upper);
+            let c = LpEngine::new(&lp.model).solve(&lower, &upper);
+            prop_assert_eq!(
+                verdict(&w), verdict(&c),
+                "seed {}: bound change x{} -> [{}, {}]", seed, j, lo, hi
+            );
+            if let (LpOutcome::Optimal(ws), LpOutcome::Optimal(cs)) = (&w, &c) {
+                prop_assert!(
+                    (ws.objective - cs.objective).abs() < 1e-6,
+                    "seed {}: warm {} vs cold {}", seed, ws.objective, cs.objective
+                );
+            }
+        }
+    }
+}

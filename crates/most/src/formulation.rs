@@ -144,6 +144,19 @@ pub fn build_model(
                 let b = model.integer(&format!("buf_{vi}"));
                 buffer_vars[vi] = Some(b);
                 obj.push((b, 1.0));
+                // A finite upper bound (any schedule fits within the
+                // stage bound plus the longest dependence distance): it
+                // folds into a context bound, and a variable with two
+                // finite bounds can always be bound-flipped back to dual
+                // feasibility after branching — unbounded buffer columns
+                // were the one thing forcing node re-solves through a
+                // cold Phase 1.
+                let max_dist = uses[vi]
+                    .iter()
+                    .map(|&(user, idx)| lp.op(user).operands[idx].distance)
+                    .max()
+                    .unwrap_or(0);
+                model.add_le([(b, 1.0)], kmax + f64::from(max_dist) + 2.0);
                 for &(user, idx) in &uses[vi] {
                     let dist = lp.op(user).operands[idx].distance;
                     // II·b ≥ σ_user + II·dist − σ_def
@@ -201,6 +214,55 @@ impl SchedulingModel {
             order.push(self.stage_vars[op.index()]);
         }
         order
+    }
+
+    /// SOS1 branch groups for the solver: each op contributes its row
+    /// variables (one group — the solver branches on the LP-preferred
+    /// slot) immediately followed by its stage variable (a singleton
+    /// group), in scheduling priority order. Interleaving the stage with
+    /// the slots pins each op's full issue time `σ = t + II·k` before the
+    /// next op is placed, so a conflicting placement goes infeasible at
+    /// the op that caused it and backtracking stays local — leaving the
+    /// stages to the end lets the dive place every slot greedily and only
+    /// then discover the stages cannot be reconciled, dozens of levels up.
+    pub fn branch_groups(&self, op_order: &[OpId]) -> Vec<Vec<VarId>> {
+        let mut groups = Vec::with_capacity(2 * op_order.len());
+        for &op in op_order {
+            groups.push(self.row_vars[op.index()].clone());
+            groups.push(vec![self.stage_vars[op.index()]]);
+        }
+        groups
+    }
+
+    /// Extend a feasibility-model solution to a full warm-start vector
+    /// for this buffer model: the two models share the schedule-variable
+    /// prefix (same construction order), so only the appended buffer
+    /// variables are missing, and each takes its implied minimal value
+    /// `b_v = max_u ⌈(σ_u + II·d_u − σ_def)/II⌉`.
+    pub fn warm_start_from(&self, lp: &Loop, feas_values: &[f64]) -> Vec<f64> {
+        let mut full = feas_values.to_vec();
+        full.resize(self.model.num_vars(), 0.0);
+        let times = self.extract_times(&full);
+        let ii = i64::from(self.ii);
+        let uses = lp.uses();
+        for (vi, info) in lp.values().iter().enumerate() {
+            let (Some(b), Some(def)) = (self.buffer_vars[vi], info.def) else {
+                continue;
+            };
+            let sd = times[def.index()];
+            let need = uses[vi]
+                .iter()
+                .map(|&(user, idx)| {
+                    let dist = i64::from(lp.op(user).operands[idx].distance);
+                    let span = times[user.index()] + ii * dist - sd;
+                    (span + ii - 1).div_euclid(ii)
+                })
+                .max()
+                .unwrap_or(0)
+                .max(0);
+            full[b.index()] = need as f64;
+        }
+        full
     }
 
     /// Total buffers in a solution (buffer objective only).

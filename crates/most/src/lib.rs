@@ -53,6 +53,12 @@ pub struct MostOptions {
     pub minimize_buffers: bool,
     /// Node budget per ILP solve (deterministic; tests rely on this).
     pub node_limit: u64,
+    /// Simplex pivot budget per ILP solve. Like `node_limit` this is a
+    /// deterministic measure of work — identical inputs truncate at
+    /// identical points regardless of host load — but it bounds work at a
+    /// much finer grain: a single pathological node LP cannot eat the
+    /// whole budget unnoticed.
+    pub pivot_limit: u64,
     /// Wall-clock budget per ILP solve. The study used 3 minutes (§3.3).
     pub time_limit: Option<Duration>,
     /// Drive branching with the SGI priority orders (§3.3 adj. 3).
@@ -64,6 +70,15 @@ pub struct MostOptions {
     /// Overall wall-clock budget for the whole II search on one loop (the
     /// paper's three-minute regime was per search; this caps the loop).
     pub loop_time_limit: Option<Duration>,
+    /// Deterministic analogue of [`loop_time_limit`](Self::loop_time_limit):
+    /// total simplex pivots across the whole II ladder. Once the ladder
+    /// has spent this many pivots, no further II is attempted (the solve
+    /// in flight still completes, so the overshoot is at most one
+    /// `pivot_limit`). Without it, a loop whose schedules keep failing
+    /// register allocation retries every II up to MaxII at full budget —
+    /// and the only way to bound that was wall clock, which quick budgets
+    /// must not depend on.
+    pub loop_pivot_limit: Option<u64>,
     /// Loops larger than this are not attempted by the ILP at all — §5.0
     /// reports MOST's practical ceiling at 61 operations; beyond it the
     /// solves only burn their full budgets before failing.
@@ -75,11 +90,13 @@ impl Default for MostOptions {
         MostOptions {
             minimize_buffers: true,
             node_limit: 200_000,
+            pivot_limit: 10_000_000,
             time_limit: Some(Duration::from_secs(180)),
             use_priority_orders: true,
             max_ii_factor: 2,
             fallback: true,
             loop_time_limit: Some(Duration::from_secs(180)),
+            loop_pivot_limit: None,
             max_ops: 80,
         }
     }
@@ -92,8 +109,14 @@ pub struct MostStats {
     pub min_ii: u32,
     /// Branch-and-bound nodes across all solves.
     pub nodes: u64,
+    /// Simplex pivots across all solves (the deterministic work measure).
+    pub pivots: u64,
     /// ILP solves performed.
     pub solves: u32,
+    /// Whether any wall-clock deadline truncated the search. A result
+    /// carrying this flag depends on host load and is *not* reproducible;
+    /// the schedule cache refuses to memoize such results.
+    pub deadline_hit: bool,
     /// Whether the achieved II equals MinII with a completed search
     /// (a certificate of rate-optimality).
     pub optimal_ii: bool,
@@ -143,6 +166,10 @@ pub enum MostError {
         min_ii: u32,
         /// MaxII bound.
         max_ii: u32,
+        /// Whether a wall-clock deadline truncated the search. When set,
+        /// the failure is host-load-dependent (retrying may succeed); the
+        /// schedule cache never memoizes it.
+        deadline_hit: bool,
     },
 }
 
@@ -150,8 +177,16 @@ impl std::fmt::Display for MostError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MostError::EmptyLoop => write!(f, "cannot pipeline an empty loop"),
-            MostError::NoSchedule { min_ii, max_ii } => {
-                write!(f, "MOST found no schedule in II range [{min_ii}, {max_ii}]")
+            MostError::NoSchedule {
+                min_ii,
+                max_ii,
+                deadline_hit,
+            } => {
+                write!(f, "MOST found no schedule in II range [{min_ii}, {max_ii}]")?;
+                if *deadline_hit {
+                    write!(f, " (wall-clock deadline hit; result is host-dependent)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -174,7 +209,7 @@ pub fn pipeline_most(
         return Err(MostError::EmptyLoop);
     }
     if lp.len() > opts.max_ops {
-        return fallback_or_fail(lp, machine, opts, 0, 0);
+        return fallback_or_fail(lp, machine, opts, 0, 0, false);
     }
     let ddg = Ddg::build(lp, machine);
     let min_ii = ddg.min_ii();
@@ -197,6 +232,10 @@ pub fn pipeline_most(
     let loop_deadline = opts.loop_time_limit.map(|d| started + d);
     for ii in min_ii..=max_ii {
         if loop_deadline.is_some_and(|d| Instant::now() >= d) {
+            stats.deadline_hit = true;
+            break;
+        }
+        if opts.loop_pivot_limit.is_some_and(|l| stats.pivots >= l) {
             break;
         }
         stats.iis_tried.push(ii);
@@ -230,11 +269,13 @@ pub fn pipeline_most(
         }
     }
     stats.solve_time = started.elapsed();
-    let mut r = fallback_or_fail(lp, machine, opts, min_ii, max_ii);
+    let mut r = fallback_or_fail(lp, machine, opts, min_ii, max_ii, stats.deadline_hit);
     if let Ok(p) = &mut r {
         p.stats.min_ii = stats.min_ii;
         p.stats.nodes = stats.nodes;
+        p.stats.pivots = stats.pivots;
         p.stats.solves = stats.solves;
+        p.stats.deadline_hit = stats.deadline_hit;
         p.stats.iis_tried = stats.iis_tried;
         p.stats.solve_time = stats.solve_time;
         p.stats.alloc_ns = p.stats.alloc_ns.saturating_add(stats.alloc_ns);
@@ -250,11 +291,13 @@ fn fallback_or_fail(
     opts: &MostOptions,
     min_ii: u32,
     max_ii: u32,
+    deadline_hit: bool,
 ) -> Result<MostPipelined, MostError> {
     if opts.fallback {
         if let Ok(h) = swp_heur::pipeline(lp, machine, &HeurOptions::default()) {
             let stats = MostStats {
                 fell_back: true,
+                deadline_hit,
                 alloc_ns: h.stats.alloc_ns,
                 ..MostStats::default()
             };
@@ -266,7 +309,11 @@ fn fallback_or_fail(
             });
         }
     }
-    Err(MostError::NoSchedule { min_ii, max_ii })
+    Err(MostError::NoSchedule {
+        min_ii,
+        max_ii,
+        deadline_hit,
+    })
 }
 
 /// Solve one II: feasibility first, then optional buffer minimization.
@@ -287,13 +334,21 @@ fn solve_at_ii(
         let solve_opts = SolveOptions {
             stop_at_first: true,
             node_limit: opts.node_limit,
+            pivot_limit: opts.pivot_limit,
             time_limit: opts.time_limit,
             branch_order: Some(feas_model.branch_order(order)),
+            // Fixing the LP-preferred a[i][t] to 1 first turns the DFS
+            // dive into a priority-guided list scheduler (see
+            // SolveOptions docs).
+            branch_groups: Some(feas_model.branch_groups(order)),
+            branch_up_first: true,
             ..SolveOptions::default()
         };
         stats.solves += 1;
         let r = solve_ilp(&feas_model.model, &solve_opts);
         stats.nodes += r.nodes;
+        stats.pivots += r.pivots;
+        stats.deadline_hit |= r.deadline_hit;
         match r.status {
             Status::Optimal | Status::Feasible => {
                 let complete = r.status == Status::Optimal || r.solution.is_some();
@@ -323,13 +378,27 @@ fn solve_at_ii(
     for order in orders {
         let solve_opts = SolveOptions {
             node_limit: opts.node_limit,
+            pivot_limit: opts.pivot_limit,
             time_limit: opts.time_limit,
             branch_order: Some(buf_model.branch_order(order)),
+            branch_groups: Some(buf_model.branch_groups(order)),
+            branch_up_first: true,
+            // Seed the search with the feasibility schedule (extended by
+            // its implied buffer counts — the two models share the
+            // schedule-variable prefix): the solve starts with an
+            // incumbent and an armed cutoff, while branching stays
+            // LP-guided. Steering the dive toward this solution instead
+            // would anchor a truncated search at the feasibility dive's
+            // sprawled leaf, which is usually far worse than where the
+            // buffer relaxation points.
+            warm_start: Some(buf_model.warm_start_from(lp, &feas_values)),
             ..SolveOptions::default()
         };
         stats.solves += 1;
         let r = solve_ilp(&buf_model.model, &solve_opts);
         stats.nodes += r.nodes;
+        stats.pivots += r.pivots;
+        stats.deadline_hit |= r.deadline_hit;
         if let Some(sol) = r.solution {
             let buffers = buf_model.total_buffers(&sol.values);
             best = Some((sol.values, buffers));
@@ -435,6 +504,41 @@ mod tests {
         assert!(r.stats.fell_back);
         let ddg = Ddg::build(&r.body, &m);
         assert_eq!(r.schedule.validate(&r.body, &ddg, &m), Ok(()));
+    }
+
+    #[test]
+    fn pivot_budget_truncates_deterministically() {
+        // A pivot budget is a pure work measure: two runs of the same
+        // input must do identical work and never set the wall-clock flag.
+        let m = Machine::r8000();
+        let opts = MostOptions {
+            pivot_limit: 40,
+            time_limit: None,
+            loop_time_limit: None,
+            fallback: false,
+            ..MostOptions::default()
+        };
+        let a = pipeline_most(&saxpy(), &m, &opts);
+        let b = pipeline_most(&saxpy(), &m, &opts);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.stats.pivots, y.stats.pivots);
+                assert_eq!(x.stats.nodes, y.stats.nodes);
+                assert!(!x.stats.deadline_hit);
+                assert!(!y.stats.deadline_hit);
+            }
+            (Err(x), Err(y)) => {
+                assert_eq!(x, y);
+                assert!(matches!(
+                    x,
+                    MostError::NoSchedule {
+                        deadline_hit: false,
+                        ..
+                    }
+                ));
+            }
+            (a, b) => panic!("runs disagreed: {a:?} vs {b:?}"),
+        }
     }
 
     #[test]

@@ -168,6 +168,35 @@ proptest! {
     }
 }
 
+/// The warm dual-simplex path must produce audit-clean schedules: a loop
+/// big enough that branch-and-bound performs thousands of warm node
+/// re-solves, solved under deterministic budgets with the fallback
+/// disabled (success therefore certifies the ILP path produced the
+/// artifact), then pushed through the full audit.
+#[test]
+fn warm_path_most_schedule_audits_clean() {
+    let m = Machine::r8000();
+    let lp = random_loop(
+        &GenParams {
+            ops: 20,
+            ..GenParams::default()
+        },
+        42,
+    );
+    let choice = SchedulerChoice::IlpWith(swp_most::MostOptions {
+        node_limit: 2_000,
+        pivot_limit: 20_000,
+        time_limit: None,
+        loop_time_limit: None,
+        fallback: false,
+        ..swp_most::MostOptions::default()
+    });
+    let c = compile_loop(&lp, &m, &choice).expect("MOST schedules a 20-op loop");
+    assert!(!c.stats.fell_back, "fallback disabled yet taken");
+    let report = audit(&c.code, &m, VerifyLevel::Full);
+    assert!(report.findings.is_empty(), "{}", report.render_human());
+}
+
 proptest! {
     // ILP solves are slower; fewer cases.
     #![proptest_config(ProptestConfig::with_cases(8))]
