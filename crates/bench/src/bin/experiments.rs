@@ -8,11 +8,17 @@
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
 //! ii-compare solver ablation-order ablation-iisearch ablation-spill
-//! speedup all audit`.
+//! speedup all audit chaos`.
 //!
 //! `audit` (not part of `all`) compiles every suite loop under both
 //! schedulers at full verification and prints a findings table; with `-D`
 //! any finding exits nonzero, which is how CI enforces zero findings.
+//!
+//! `chaos` (not part of `all`) runs every suite down the degradation
+//! ladder under each committed fault-injection scenario and prints a
+//! containment table; with `-D` any containment violation (an escaped
+//! fault, an unrescued loop, an unstructured crash) exits nonzero, which
+//! is how CI proves the ladder catches what it claims.
 //!
 //! `solver` (not part of `all`) prints MOST's deterministic node/pivot
 //! work counters over the Livermore kernels; with `--gate` it exits
@@ -29,9 +35,10 @@
 
 use showdown::Driver;
 use swp_bench::{
-    ablation_ii_search, ablation_order, ablation_spill, audit_with, compile_speed, driver_speedup,
-    fig2_geomean, fig2_with, fig3_with, fig4_with, fig5_with, fig6_fig7_with, ii_compare_with,
-    loop_size, solver_gate, solver_speed, Effort,
+    ablation_ii_search, ablation_order, ablation_spill, audit_with, chaos_rung_usage,
+    chaos_scenarios, chaos_with, compile_speed, driver_speedup, fig2_geomean, fig2_with, fig3_with,
+    fig4_with, fig5_with, fig6_fig7_with, ii_compare_with, loop_size, solver_gate, solver_speed,
+    Effort,
 };
 use swp_heur::PriorityHeuristic;
 use swp_machine::Machine;
@@ -352,6 +359,62 @@ fn main() {
         }
         println!("total findings: {total}");
         if deny && total > 0 {
+            std::process::exit(1);
+        }
+    }
+
+    if cmd == "chaos" {
+        let deny = args.iter().any(|a| a == "-D" || a == "--deny");
+        // Injected panics are the point; keep their backtraces out of the log.
+        showdown::hush_injected_panics();
+        println!("== Chaos: fault injection vs the degradation ladder, every suite ==");
+        println!(
+            "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>11}",
+            "scenario", "loops", "r0", "r1", "r2", "r3", "quar", "escapes", "violations"
+        );
+        let rows = chaos_with(&driver, &m, effort);
+        let mut total_violations = 0usize;
+        for sc in &chaos_scenarios() {
+            let (mut loops, mut quar, mut escapes, mut violations) = (0usize, 0, 0, 0);
+            let mut usage = [0usize; 4];
+            for r in rows.iter().filter(|r| r.scenario == sc.name) {
+                loops += r.suite.loops.len();
+                for (u, n) in usage.iter_mut().zip(r.suite.rung_usage()) {
+                    *u += n;
+                }
+                quar += r.suite.quarantined();
+                escapes += r.escapes();
+                violations += r.violations();
+            }
+            total_violations += violations;
+            println!(
+                "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>11}",
+                sc.name, loops, usage[0], usage[1], usage[2], usage[3], quar, escapes, violations
+            );
+        }
+        for r in rows.iter().filter(|r| r.violations() > 0) {
+            println!("  VIOLATION in {} under {}:", r.suite.name, r.scenario);
+            for l in &r.suite.loops {
+                let bad = match &l.outcome {
+                    Ok(s) => !s.clean,
+                    Err(_) => !r.expect_quarantine,
+                };
+                if bad || l.escapes() > 0 {
+                    println!(
+                        "    {}: {}",
+                        l.loop_name,
+                        showdown::render_attempts(l.attempts())
+                    );
+                }
+            }
+        }
+        let usage = chaos_rung_usage(&rows);
+        println!(
+            "control rung usage (no faults): ilp={} heuristic={} escalated={} sequential={}",
+            usage[0], usage[1], usage[2], usage[3]
+        );
+        println!("total containment violations: {total_violations}");
+        if deny && total_violations > 0 {
             std::process::exit(1);
         }
     }

@@ -6,8 +6,9 @@
 //! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
 
 use showdown::{
-    audit_suite_with, compare_with, geometric_mean, run_suite_baseline_with, run_suite_with,
-    CompileOptions, Driver, SchedulerChoice, Severity, SuiteAudit, VerifyLevel,
+    audit_suite_with, compare_with, geometric_mean, ladder_suite_with, run_suite_baseline_with,
+    run_suite_with, ChaosFault, ChaosOptions, CompileError, CompileOptions, Corruption, Driver,
+    LadderOptions, Rung, SchedulerChoice, Severity, SuiteAudit, SuiteLadder, VerifyLevel,
 };
 use std::time::{Duration, Instant};
 use swp_heur::{HeurOptions, PriorityHeuristic};
@@ -678,6 +679,156 @@ pub fn audit_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<Aud
     })
 }
 
+/// One chaos-injection scenario: a named fault pattern plus the
+/// containment contract it must satisfy over a suite.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// Display name (also the row label in `experiments chaos`).
+    pub name: &'static str,
+    /// The injected faults.
+    pub chaos: ChaosOptions,
+    /// Whether the scenario is *supposed* to quarantine every loop.
+    /// Only the in-flight panic expects that: it fires outside rung
+    /// isolation, so no rung can rescue it, and the contract is instead
+    /// that every loop dies to a *structured* internal error (pool and
+    /// cache intact) rather than tearing the run down.
+    pub expect_quarantine: bool,
+}
+
+/// The committed scenario set behind `experiments chaos`: a quiet
+/// control, then every fault class injected at every upper rung. Rung 3
+/// is never injected — it is the rescue anchor whose totality all other
+/// scenarios lean on, and corrupting the anchor would only prove that a
+/// broken compiler is broken.
+pub fn chaos_scenarios() -> Vec<ChaosScenario> {
+    let upper = [Rung::Ilp, Rung::Heuristic, Rung::Escalated];
+    let everywhere = |fault: ChaosFault| {
+        upper
+            .iter()
+            .fold(ChaosOptions::default(), |c, &r| c.with_fault(r, fault))
+    };
+    vec![
+        ChaosScenario {
+            name: "control",
+            chaos: ChaosOptions::default(),
+            expect_quarantine: false,
+        },
+        ChaosScenario {
+            name: "panic@0-2",
+            chaos: everywhere(ChaosFault::Panic),
+            expect_quarantine: false,
+        },
+        ChaosScenario {
+            name: "exhaust@0-2",
+            chaos: everywhere(ChaosFault::Exhaust),
+            expect_quarantine: false,
+        },
+        ChaosScenario {
+            name: "corrupt-time@0-2",
+            chaos: everywhere(ChaosFault::Corrupt(Corruption::NegativeTime)),
+            expect_quarantine: false,
+        },
+        ChaosScenario {
+            name: "corrupt-mix@0-1",
+            chaos: ChaosOptions::default()
+                .with_fault(
+                    Rung::Ilp,
+                    ChaosFault::Corrupt(Corruption::ClobberedRegister),
+                )
+                .with_fault(
+                    Rung::Heuristic,
+                    ChaosFault::Corrupt(Corruption::TamperedExpansion),
+                ),
+            expect_quarantine: false,
+        },
+        ChaosScenario {
+            name: "panic-in-flight",
+            chaos: ChaosOptions {
+                panic_in_flight: true,
+                ..ChaosOptions::default()
+            },
+            expect_quarantine: true,
+        },
+    ]
+}
+
+/// One row of the `experiments chaos` table: one suite under one
+/// scenario, every loop sent down the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// The scenario's containment contract (see [`ChaosScenario`]).
+    pub expect_quarantine: bool,
+    /// The suite's quarantine report.
+    pub suite: SuiteLadder,
+}
+
+impl ChaosRow {
+    /// Injected faults that escaped containment on this suite.
+    pub fn escapes(&self) -> usize {
+        self.suite.escapes()
+    }
+
+    /// Containment-contract violations: an escaped fault, a loop the
+    /// ladder failed to rescue (or rescued with an unclean audit), or —
+    /// for the in-flight-panic scenario — a loop that produced anything
+    /// other than a structured internal error.
+    pub fn violations(&self) -> usize {
+        let broken = if self.expect_quarantine {
+            self.suite
+                .loops
+                .iter()
+                .filter(|l| !matches!(&l.outcome, Err(CompileError::Internal { rung: None, .. })))
+                .count()
+        } else {
+            self.suite
+                .loops
+                .iter()
+                .filter(|l| !matches!(&l.outcome, Ok(s) if s.clean))
+                .count()
+        };
+        broken + self.escapes()
+    }
+}
+
+/// The fault-injection sweep behind `experiments chaos`: every SPEC-like
+/// suite × every committed scenario, fanned across the driver pool.
+/// `ChaosOptions` is part of the schedule-cache key, so chaotic compiles
+/// never pollute (or borrow from) quiet memoized results. Rows come
+/// back grouped by suite, in [`chaos_scenarios`] order.
+pub fn chaos_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<ChaosRow> {
+    let scenarios = chaos_scenarios();
+    let suites = spec_suites();
+    driver.run_indexed(suites.len() * scenarios.len(), |j| {
+        let suite = &suites[j / scenarios.len()];
+        let scenario = &scenarios[j % scenarios.len()];
+        let inner = driver.sequential_view();
+        let opts = LadderOptions {
+            most: effort.most_options(),
+            chaos: scenario.chaos.clone(),
+            ..LadderOptions::default()
+        };
+        ChaosRow {
+            scenario: scenario.name,
+            expect_quarantine: scenario.expect_quarantine,
+            suite: ladder_suite_with(&inner, suite, machine, &opts),
+        }
+    })
+}
+
+/// Rung usage summed over the control (fault-free) rows — the
+/// EXPERIMENTS.md rung-usage table, indexed by [`Rung::index`].
+pub fn chaos_rung_usage(rows: &[ChaosRow]) -> [usize; 4] {
+    let mut usage = [0usize; 4];
+    for r in rows.iter().filter(|r| r.scenario == "control") {
+        for (u, n) in usage.iter_mut().zip(r.suite.rung_usage()) {
+            *u += n;
+        }
+    }
+    usage
+}
+
 /// One row of the `experiments solver` table: one Livermore kernel solved
 /// by MOST (no fallback) under the deterministic quick budgets, with the
 /// solver's work counters.
@@ -1024,6 +1175,37 @@ mod tests {
                 x.name
             );
         }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "integration-scale; run with --release")]
+    fn chaos_sweep_contains_every_scenario() {
+        showdown::hush_injected_panics();
+        let m = Machine::r8000();
+        let driver = Driver::new(4);
+        let rows = chaos_with(&driver, &m, Effort::Quick);
+        assert_eq!(rows.len(), 14 * chaos_scenarios().len());
+        for r in &rows {
+            assert_eq!(r.escapes(), 0, "{}/{}", r.suite.name, r.scenario);
+            assert_eq!(r.violations(), 0, "{}/{}", r.suite.name, r.scenario);
+            if r.expect_quarantine {
+                assert_eq!(r.suite.quarantined(), r.suite.loops.len());
+            } else {
+                assert!(r.suite.all_clean(), "{}/{}", r.suite.name, r.scenario);
+            }
+        }
+        // Fault-free control: everything lands on a real pipeliner rung,
+        // and the sequential anchor is never needed.
+        let usage = chaos_rung_usage(&rows);
+        let total: usize = usage.iter().sum();
+        assert_eq!(
+            total,
+            rows.iter()
+                .filter(|r| r.scenario == "control")
+                .map(|r| r.suite.loops.len())
+                .sum()
+        );
+        assert_eq!(usage[3], 0, "no quiet loop should need the sequential rung");
     }
 
     #[test]

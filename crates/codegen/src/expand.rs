@@ -217,6 +217,28 @@ impl PipelinedLoop {
         out
     }
 
+    /// A copy of this code with the schedule replaced and the expanded
+    /// sections left untouched. Fault injection for the `swp-verify`
+    /// mutation tests and the chaos harness (the decoupling between the
+    /// claimed schedule and the emitted code is exactly what the schedule
+    /// and expansion auditors exist to catch); never part of normal code
+    /// generation.
+    pub fn with_tampered_schedule(&self, schedule: Schedule) -> PipelinedLoop {
+        let mut out = self.clone();
+        out.schedule = schedule;
+        out
+    }
+
+    /// A copy of this code with the register allocation replaced and
+    /// everything else left untouched. Fault injection for the
+    /// `swp-verify` mutation tests and the chaos harness; never part of
+    /// normal code generation.
+    pub fn with_tampered_allocation(&self, allocation: Allocation) -> PipelinedLoop {
+        let mut out = self.clone();
+        out.allocation = allocation;
+        out
+    }
+
     /// The achieved II.
     pub fn ii(&self) -> u32 {
         self.schedule.ii()

@@ -41,6 +41,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::compile::{
     compile_loop_with, CompileError, CompileOptions, CompiledLoop, SchedulerChoice,
 };
+use crate::ladder::{ChaosFault, ChaosOptions, Corruption, LadderOptions};
 use swp_heur::HeurOptions;
 use swp_ir::Loop;
 use swp_machine::{Machine, RegClass};
@@ -176,17 +177,53 @@ fn fold_most_options(h: &mut StableHasher, opts: &MostOptions) {
         opts.loop_time_limit
             .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
     );
+    h.opt_u64(opts.loop_pivot_limit);
     h.u64(opts.max_ops as u64);
+}
+
+fn fold_chaos(h: &mut StableHasher, chaos: &ChaosOptions) {
+    h.byte(b'C');
+    for f in &chaos.faults {
+        h.byte(match f {
+            None => 0,
+            Some(ChaosFault::Panic) => 1,
+            Some(ChaosFault::Exhaust) => 2,
+            Some(ChaosFault::Corrupt(Corruption::NegativeTime)) => 3,
+            Some(ChaosFault::Corrupt(Corruption::ClobberedRegister)) => 4,
+            Some(ChaosFault::Corrupt(Corruption::TamperedExpansion)) => 5,
+        });
+    }
+    h.bool(chaos.panic_in_flight);
+}
+
+fn fold_ladder_options(h: &mut StableHasher, opts: &LadderOptions) {
+    h.byte(b'L');
+    fold_most_options(h, &opts.most);
+    fold_heur_options(h, &opts.heur);
+    h.u64(u64::from(opts.escalation_rounds));
+    h.byte(b'G');
+    h.byte(match opts.gate {
+        VerifyLevel::Off => 0,
+        VerifyLevel::Schedule => 1,
+        VerifyLevel::Full => 2,
+    });
+    // The chaos plan is part of the key: a fault-injected compile (its
+    // demotions, its rung trace, possibly its gate rejections) must never
+    // be served to — or pollute the memoized entry of — a quiet request
+    // for the same loop.
+    fold_chaos(h, &opts.chaos);
 }
 
 fn fold_choice(h: &mut StableHasher, choice: &SchedulerChoice) {
     // `Heuristic` and `HeuristicWith(default)` request the same compile,
-    // so they must share a key; likewise for `Ilp`.
+    // so they must share a key; likewise for `Ilp` and `Ladder`.
     match choice {
         SchedulerChoice::Heuristic => fold_heur_options(h, &HeurOptions::default()),
         SchedulerChoice::HeuristicWith(opts) => fold_heur_options(h, opts),
         SchedulerChoice::Ilp => fold_most_options(h, &MostOptions::default()),
         SchedulerChoice::IlpWith(opts) => fold_most_options(h, opts),
+        SchedulerChoice::Ladder => fold_ladder_options(h, &LadderOptions::default()),
+        SchedulerChoice::LadderWith(opts) => fold_ladder_options(h, opts),
     }
 }
 
@@ -224,6 +261,33 @@ enum Slot {
     Ready(Result<Arc<CompiledLoop>, CompileError>),
 }
 
+/// Unwind protection for the in-flight dedup protocol: the leader that
+/// inserted a `Pending` slot owes its waiters a wake-up. If the compile
+/// panics, this guard's `Drop` runs during unwind, removes the orphaned
+/// `Pending` entry, and notifies — so a blocked waiter re-checks, finds
+/// the slot empty, and becomes the new leader instead of sleeping forever
+/// on a key nobody owns. Disarmed on the normal publish path.
+struct PendingGuard<'a> {
+    cache: &'a ScheduleCache,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // The compile runs outside the slot lock, so the lock cannot be
+        // poisoned by the panic being unwound; `if let` keeps this drop
+        // panic-free even if that invariant ever breaks.
+        if let Ok(mut slots) = self.cache.slots.lock() {
+            slots.remove(&self.key);
+        }
+        self.cache.ready.notify_all();
+    }
+}
+
 /// Whether a compile outcome was truncated by a wall-clock deadline and
 /// therefore depends on host load. Transient results must not be
 /// memoized: under PR 1's unconditional error memoization a timeout on a
@@ -231,10 +295,14 @@ enum Slot {
 /// determinism tests whose budgets were generous enough on a quiet run.
 fn is_transient(result: &Result<Arc<CompiledLoop>, CompileError>) -> bool {
     match result {
+        // Accepted ladder results OR `deadline_hit` across every rung
+        // attempted, so a deadline-demoted (hence host-dependent) win on a
+        // lower rung is covered by this same arm.
         Ok(c) => c.stats.deadline_hit,
         Err(CompileError::Ilp(swp_most::MostError::NoSchedule { deadline_hit, .. })) => {
             *deadline_hit
         }
+        Err(CompileError::LadderExhausted { attempts }) => attempts.iter().any(|a| a.deadline_hit),
         Err(_) => false,
     }
 }
@@ -328,7 +396,13 @@ impl ScheduleCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = PendingGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
         let result = compile_loop_with(lp, machine, options).map(Arc::new);
+        guard.armed = false;
         let mut slots = self.slots.lock().expect("cache lock");
         if is_transient(&result) {
             // Deadline-truncated outcome: hand it to this caller but do
@@ -635,5 +709,156 @@ mod tests {
             cache_key(&lp, &m, &SchedulerChoice::Ilp),
             cache_key(&lp, &m, &SchedulerChoice::IlpWith(tweaked))
         );
+        let loop_tweaked = MostOptions {
+            loop_pivot_limit: Some(1234),
+            ..MostOptions::default()
+        };
+        assert_ne!(
+            cache_key(&lp, &m, &SchedulerChoice::Ilp),
+            cache_key(&lp, &m, &SchedulerChoice::IlpWith(loop_tweaked))
+        );
+    }
+
+    #[test]
+    fn ladder_and_chaos_options_are_part_of_the_key() {
+        let m = Machine::r8000();
+        let lp = saxpy("s");
+        // `Ladder` and an explicit default share a key; the ladder is a
+        // distinct request from either direct scheduler.
+        assert_eq!(
+            cache_key(&lp, &m, &SchedulerChoice::Ladder),
+            cache_key(&lp, &m, &SchedulerChoice::LadderWith(Box::default()))
+        );
+        assert_ne!(
+            cache_key(&lp, &m, &SchedulerChoice::Ladder),
+            cache_key(&lp, &m, &SchedulerChoice::Ilp)
+        );
+        assert_ne!(
+            cache_key(&lp, &m, &SchedulerChoice::Ladder),
+            cache_key(&lp, &m, &SchedulerChoice::Heuristic)
+        );
+        // Every knob separates: escalation rounds, gate level, and each
+        // distinct chaos plan gets its own entry.
+        let quiet = cache_key(&lp, &m, &SchedulerChoice::Ladder);
+        let rounds = SchedulerChoice::LadderWith(Box::new(LadderOptions {
+            escalation_rounds: 5,
+            ..LadderOptions::default()
+        }));
+        assert_ne!(quiet, cache_key(&lp, &m, &rounds));
+        let gate_off = SchedulerChoice::LadderWith(Box::new(LadderOptions {
+            gate: VerifyLevel::Off,
+            ..LadderOptions::default()
+        }));
+        assert_ne!(quiet, cache_key(&lp, &m, &gate_off));
+        let mut chaos_keys = vec![quiet];
+        for fault in [
+            ChaosFault::Panic,
+            ChaosFault::Exhaust,
+            ChaosFault::Corrupt(Corruption::NegativeTime),
+            ChaosFault::Corrupt(Corruption::ClobberedRegister),
+            ChaosFault::Corrupt(Corruption::TamperedExpansion),
+        ] {
+            let choice = SchedulerChoice::LadderWith(Box::new(LadderOptions {
+                chaos: ChaosOptions::default().with_fault(crate::ladder::Rung::Ilp, fault),
+                ..LadderOptions::default()
+            }));
+            chaos_keys.push(cache_key(&lp, &m, &choice));
+        }
+        let in_flight = SchedulerChoice::LadderWith(Box::new(LadderOptions {
+            chaos: ChaosOptions {
+                panic_in_flight: true,
+                ..ChaosOptions::default()
+            },
+            ..LadderOptions::default()
+        }));
+        chaos_keys.push(cache_key(&lp, &m, &in_flight));
+        let distinct: std::collections::HashSet<u64> = chaos_keys.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            chaos_keys.len(),
+            "chaos runs must never collide with quiet results or each other"
+        );
+    }
+
+    #[test]
+    fn orphaned_pending_slot_is_cleared_by_the_guard() {
+        let m = Machine::r8000();
+        let cache = ScheduleCache::new();
+        let lp = saxpy("s");
+        let key = cache_key(&lp, &m, &SchedulerChoice::Heuristic);
+        cache
+            .slots
+            .lock()
+            .expect("cache lock")
+            .insert(key, Slot::Pending);
+        drop(PendingGuard {
+            cache: &cache,
+            key,
+            armed: true,
+        });
+        assert!(
+            !cache.slots.lock().expect("cache lock").contains_key(&key),
+            "an armed guard must clear its Pending slot on drop"
+        );
+        // With the slot cleared, a fresh request compiles normally.
+        cache
+            .get_or_compile(&lp, &m, &SchedulerChoice::Heuristic)
+            .expect("compiles");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicking_leader_neither_hangs_waiters_nor_poisons_the_slot() {
+        crate::ladder::hush_injected_panics();
+        let m = Machine::r8000();
+        let cache = ScheduleCache::new();
+        let lp = saxpy("s");
+        // Every rung-isolated fault is caught inside compile_ladder;
+        // panic_in_flight is the one that unwinds through the cache
+        // leader itself, exactly the path the PendingGuard exists for.
+        let chaotic = SchedulerChoice::LadderWith(Box::new(LadderOptions {
+            chaos: ChaosOptions {
+                panic_in_flight: true,
+                ..ChaosOptions::default()
+            },
+            ..LadderOptions::default()
+        }));
+        // Hammer one key from many threads for several rounds: leaders
+        // keep panicking, waiters must keep being woken and promoted, and
+        // nobody may deadlock or observe a poisoned lock.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        for _ in 0..4 {
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                cache.get_or_compile(&lp, &m, &chaotic)
+                            }));
+                            assert!(r.is_err(), "the injected panic must propagate");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("no waiter hangs or dies of poisoning");
+            }
+        });
+        assert!(
+            cache.is_empty(),
+            "a panicked compile must leave nothing behind"
+        );
+        assert!(
+            !cache
+                .slots
+                .lock()
+                .expect("cache lock stays healthy")
+                .contains_key(&cache_key(&lp, &m, &chaotic)),
+            "no orphaned Pending entry"
+        );
+        // The same cache still serves quiet compiles of the same loop.
+        let quiet = cache
+            .get_or_compile(&lp, &m, &SchedulerChoice::Ladder)
+            .expect("quiet ladder compile succeeds");
+        assert!(quiet.audit.as_ref().is_some_and(|r| r.is_clean()));
     }
 }

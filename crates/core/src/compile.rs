@@ -1,5 +1,6 @@
 //! Unified compilation entry points for both pipeliners.
 
+use crate::ladder::{compile_ladder, LadderOptions, Rung, RungAttempt};
 use swp_codegen::{list_schedule, BaselineLoop, PipelinedLoop};
 use swp_heur::{HeurOptions, PipelineError};
 use swp_ir::{Ddg, Loop};
@@ -19,6 +20,12 @@ pub enum SchedulerChoice {
     Ilp,
     /// The MOST pipeliner with explicit options.
     IlpWith(MostOptions),
+    /// The total-compilation degradation ladder (ILP → heuristic →
+    /// escalated heuristic → sequential) with default options.
+    Ladder,
+    /// The degradation ladder with explicit options (boxed: ladder
+    /// options carry both schedulers' configurations plus a chaos plan).
+    LadderWith(Box<LadderOptions>),
 }
 
 /// Full compile configuration: which pipeliner, and how much independent
@@ -49,8 +56,15 @@ pub struct CompiledLoop {
     /// Compile statistics.
     pub stats: CompileStats,
     /// Audit report, when compiled with `verify` on. `None` means the
-    /// auditors did not run, not that the code is certified.
+    /// auditors did not run, not that the code is certified — except on
+    /// ladder compiles, whose gate always audits (see [`LadderOptions`]).
     pub audit: Option<VerifyReport>,
+    /// The degradation-ladder rung that produced this code; `None` for
+    /// direct (non-ladder) compiles.
+    pub rung: Option<Rung>,
+    /// The ladder's full attempt trace, demotion by demotion; empty for
+    /// direct compiles.
+    pub attempts: Vec<RungAttempt>,
 }
 
 /// Scheduler-independent compile statistics.
@@ -90,6 +104,24 @@ pub enum CompileError {
     Heuristic(PipelineError),
     /// The ILP pipeliner (and its fallback) failed.
     Ilp(MostError),
+    /// A compiler invariant broke (a caught panic or an impossible
+    /// state). The structured form of what used to unwind: the job fails,
+    /// the pool and the rest of the suite do not.
+    Internal {
+        /// The ladder rung involved, when the failure is attributable to
+        /// one; `None` for failures outside rung isolation (e.g. a panic
+        /// caught at the driver boundary).
+        rung: Option<Rung>,
+        /// Best-effort description (usually the panic message).
+        message: String,
+    },
+    /// Every rung of the degradation ladder was rejected. Only possible
+    /// for lint-rejected or empty inputs, or under chaos injection at the
+    /// final rung; the trace records why each rung failed.
+    LadderExhausted {
+        /// One entry per rung attempted, in demotion order.
+        attempts: Vec<RungAttempt>,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -97,6 +129,21 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Heuristic(e) => write!(f, "heuristic pipeliner: {e}"),
             CompileError::Ilp(e) => write!(f, "ILP pipeliner: {e}"),
+            CompileError::Internal { rung, message } => match rung {
+                Some(r) => write!(f, "internal compiler error at {r}: {message}"),
+                None => write!(f, "internal compiler error: {message}"),
+            },
+            CompileError::LadderExhausted { attempts } => {
+                write!(
+                    f,
+                    "degradation ladder exhausted after {} attempts",
+                    attempts.len()
+                )?;
+                for a in attempts {
+                    write!(f, "; {}", a.render())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -120,6 +167,8 @@ pub fn compile_loop(
         SchedulerChoice::HeuristicWith(opts) => compile_heur(lp, machine, opts),
         SchedulerChoice::Ilp => compile_ilp(lp, machine, &MostOptions::default()),
         SchedulerChoice::IlpWith(opts) => compile_ilp(lp, machine, opts),
+        SchedulerChoice::Ladder => compile_ladder(lp, machine, &LadderOptions::default()),
+        SchedulerChoice::LadderWith(opts) => compile_ladder(lp, machine, opts),
     }
 }
 
@@ -139,6 +188,15 @@ pub fn compile_loop_with(
     machine: &Machine,
     options: &CompileOptions,
 ) -> Result<CompiledLoop, CompileError> {
+    // Ladder compiles carry their own per-rung verify gate; its report
+    // (lints included) is authoritative and already attached, so a second
+    // outer audit would only duplicate findings.
+    if matches!(
+        options.choice,
+        SchedulerChoice::Ladder | SchedulerChoice::LadderWith(_)
+    ) {
+        return compile_loop(lp, machine, &options.choice);
+    }
     let lints = if options.verify == VerifyLevel::Full {
         swp_verify::lint_findings(lp, machine)
     } else {
@@ -153,7 +211,7 @@ pub fn compile_loop_with(
     Ok(compiled)
 }
 
-fn compile_heur(
+pub(crate) fn compile_heur(
     lp: &Loop,
     machine: &Machine,
     opts: &HeurOptions,
@@ -180,10 +238,12 @@ fn compile_heur(
             expand_ns,
         },
         audit: None,
+        rung: None,
+        attempts: Vec::new(),
     })
 }
 
-fn compile_ilp(
+pub(crate) fn compile_ilp(
     lp: &Loop,
     machine: &Machine,
     opts: &MostOptions,
@@ -210,6 +270,8 @@ fn compile_ilp(
             expand_ns,
         },
         audit: None,
+        rung: None,
+        attempts: Vec::new(),
     })
 }
 

@@ -1,0 +1,792 @@
+//! The total-compilation degradation ladder.
+//!
+//! The paper's central production constraint is that the compiler must
+//! *always* ship a schedule (§4: MOST runs under a time limit with the
+//! heuristic pipeliner as fallback). This module generalizes that single
+//! `fallback: bool` into an ordered ladder of increasingly conservative
+//! schedulers:
+//!
+//! | rung | scheduler                          | failure mode it absorbs            |
+//! |------|------------------------------------|------------------------------------|
+//! | 0    | MOST ILP (no internal fallback)    | budget/deadline exhaustion         |
+//! | 1    | heuristic modulo scheduler         | ILP intractability                 |
+//! | 2    | heuristic, escalated budgets       | backtrack-starved or MaxII-bound   |
+//! | 3    | non-pipelined list schedule        | — (total on any lint-clean loop)   |
+//!
+//! Rung 3 views the §4.1 list schedule as a degenerate modulo schedule
+//! whose II is the full sequential iteration length. At that II every
+//! loop-carried dependence is slack by construction (`t(to) ≥ t(from) +
+//! latency − distance·II` holds because `distance·II` covers the whole
+//! makespan) and the modulo reservation table equals the plain one, so a
+//! lint-clean loop can always be compiled — the ladder is *total*.
+//!
+//! Two containment mechanisms wrap every rung:
+//!
+//! - **Panic isolation**: each rung runs under `catch_unwind`. A panic
+//!   becomes a structured [`RungOutcome::Panicked`] entry in the attempt
+//!   trace and the ladder demotes; it never unwinds into the driver pool.
+//! - **Verify gate**: each rung's artifact passes through the
+//!   `swp-verify` auditors ([`LadderOptions::gate`] level). An
+//!   error-severity finding rejects the rung's schedule
+//!   ([`RungOutcome::GateRejected`]) and demotes — PR 2's translation
+//!   validation acting as a self-checking compiler rather than a report.
+//!
+//! [`ChaosOptions`] injects deterministic faults (forced panics, forced
+//! budget exhaustion, schedule corruption reusing the `tests/audit.rs`
+//! fault classes) at chosen rungs so the containment claims are
+//! *demonstrated*, not assumed; `experiments chaos -D` denies on any
+//! injected fault escaping its rung.
+
+use crate::compile::{compile_heur, compile_ilp, CompileError, CompileStats, CompiledLoop};
+use swp_codegen::{list_schedule, CodeSection, PipelinedLoop};
+use swp_heur::HeurOptions;
+use swp_ir::{Ddg, Loop, Schedule};
+use swp_machine::Machine;
+use swp_most::{MostError, MostOptions};
+use swp_regalloc::{allocate, AllocOutcome};
+use swp_verify::{Severity, VerifyLevel};
+
+/// One rung of the degradation ladder, most aggressive first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rung {
+    /// Rung 0: the MOST ILP pipeliner with its internal fallback off.
+    Ilp,
+    /// Rung 1: the heuristic modulo scheduler at its configured budgets.
+    Heuristic,
+    /// Rung 2: the heuristic with exponentially escalated deterministic
+    /// budgets (backtracks ×4 and MaxII +1·MinII per round).
+    Escalated,
+    /// Rung 3: the non-pipelined list schedule at II = sequential
+    /// iteration length. Total on lint-clean loops.
+    Sequential,
+}
+
+impl Rung {
+    /// Every rung, demotion order.
+    pub const ALL: [Rung; 4] = [
+        Rung::Ilp,
+        Rung::Heuristic,
+        Rung::Escalated,
+        Rung::Sequential,
+    ];
+
+    /// Ladder position (0 = most aggressive).
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Ilp => 0,
+            Rung::Heuristic => 1,
+            Rung::Escalated => 2,
+            Rung::Sequential => 3,
+        }
+    }
+
+    /// Stable lowercase name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Ilp => "ilp",
+            Rung::Heuristic => "heuristic",
+            Rung::Escalated => "escalated",
+            Rung::Sequential => "sequential",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rung {} ({})", self.index(), self.name())
+    }
+}
+
+/// Which way to corrupt a rung's artifact before the verify gate.
+/// These are exactly the `tests/audit.rs` mutation classes, so each maps
+/// to the analyzer family that must reject it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// Move one op to cycle −1 in the claimed schedule (`SWP-V1xx`).
+    NegativeTime,
+    /// Reassign one value to a register beyond the file (`SWP-V2xx`).
+    ClobberedRegister,
+    /// Shift one kernel op off its cycle, breaking the op-for-op
+    /// correspondence with the schedule (`SWP-V3xx`).
+    TamperedExpansion,
+}
+
+/// A fault the chaos layer can inject at one rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosFault {
+    /// Panic inside the rung (must be absorbed by `catch_unwind`).
+    Panic,
+    /// Fail the rung's scheduler as if its budget were exhausted, without
+    /// running it. Deterministic by construction — unlike a real
+    /// wall-clock deadline — so chaos results stay reproducible.
+    Exhaust,
+    /// Let the scheduler succeed, then corrupt its artifact before the
+    /// gate (must be rejected by the auditors).
+    Corrupt(Corruption),
+}
+
+/// Deterministic fault-injection plan for one compile. The default plan
+/// injects nothing and adds zero cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosOptions {
+    /// At most one fault per rung, indexed by [`Rung::index`].
+    pub faults: [Option<ChaosFault>; 4],
+    /// Panic at compile entry, *outside* rung isolation. This models the
+    /// escape the per-rung `catch_unwind` cannot see and exercises the
+    /// outer containment layers: [`crate::Driver`] converts it to
+    /// [`CompileError::Internal`] and a panicking cache leader must clear
+    /// its in-flight entry.
+    pub panic_in_flight: bool,
+}
+
+impl ChaosOptions {
+    /// The fault planned for `rung`, if any.
+    pub fn fault_at(&self, rung: Rung) -> Option<ChaosFault> {
+        self.faults[rung.index()]
+    }
+
+    /// Builder-style: plan `fault` at `rung`.
+    pub fn with_fault(mut self, rung: Rung, fault: ChaosFault) -> ChaosOptions {
+        self.faults[rung.index()] = Some(fault);
+        self
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_quiet(&self) -> bool {
+        self.faults.iter().all(Option::is_none) && !self.panic_in_flight
+    }
+}
+
+/// Configuration of the whole ladder.
+#[derive(Debug, Clone)]
+pub struct LadderOptions {
+    /// Rung-0 budgets. The internal heuristic fallback is forced off when
+    /// the rung runs ([`MostOptions::without_fallback`]); demotion is the
+    /// ladder's job.
+    pub most: MostOptions,
+    /// Rung-1 configuration; rung 2 escalates from it.
+    pub heur: HeurOptions,
+    /// Rung-2 escalation rounds ([`HeurOptions::escalated`] 1..=N).
+    pub escalation_rounds: u32,
+    /// Audit level of the per-rung verify gate. The gate always runs —
+    /// a ladder compile carries its report regardless of the outer
+    /// [`crate::CompileOptions::verify`] setting — and error-severity
+    /// findings demote. `Off` disables gating (chaos experiments use it
+    /// to demonstrate what the gate is worth).
+    pub gate: VerifyLevel,
+    /// Fault-injection plan (quiet by default).
+    pub chaos: ChaosOptions,
+}
+
+impl Default for LadderOptions {
+    fn default() -> LadderOptions {
+        LadderOptions {
+            most: MostOptions::default(),
+            heur: HeurOptions::default(),
+            escalation_rounds: 3,
+            gate: VerifyLevel::Full,
+            chaos: ChaosOptions::default(),
+        }
+    }
+}
+
+/// How one rung's attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RungOutcome {
+    /// The rung's schedule passed the gate and was shipped.
+    Accepted,
+    /// The input loop carries error-severity lints; no rung may certify
+    /// it (recorded once, on the first rung, and the ladder stops).
+    LintRejected {
+        /// Error-severity lint findings.
+        errors: usize,
+    },
+    /// The rung's scheduler returned an error.
+    SchedulerFailed(String),
+    /// The rung's schedule was rejected by the verify gate.
+    GateRejected {
+        /// Error-severity audit findings.
+        errors: usize,
+    },
+    /// The rung panicked; `catch_unwind` absorbed it.
+    Panicked(String),
+}
+
+impl RungOutcome {
+    /// Stable lowercase tag for tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RungOutcome::Accepted => "accepted",
+            RungOutcome::LintRejected { .. } => "lint-rejected",
+            RungOutcome::SchedulerFailed(_) => "sched-failed",
+            RungOutcome::GateRejected { .. } => "gate-rejected",
+            RungOutcome::Panicked(_) => "panicked",
+        }
+    }
+}
+
+/// One entry of the per-compile attempt trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungAttempt {
+    /// Which rung ran.
+    pub rung: Rung,
+    /// How it ended.
+    pub outcome: RungOutcome,
+    /// The chaos fault actually injected at this rung (`None` when the
+    /// plan had one but the rung failed before it could apply — a
+    /// corruption cannot be injected into a schedule that never existed).
+    pub injected: Option<ChaosFault>,
+    /// Whether a wall-clock deadline truncated this rung's search. Any
+    /// true entry makes the whole ladder outcome host-dependent, so the
+    /// schedule cache refuses to memoize it.
+    pub deadline_hit: bool,
+}
+
+impl RungAttempt {
+    /// Whether an injected fault escaped its containment: a planned panic
+    /// not absorbed as [`RungOutcome::Panicked`], a planned exhaustion
+    /// not surfacing as [`RungOutcome::SchedulerFailed`], or a planted
+    /// corruption that the verify gate failed to reject. This is the
+    /// predicate `experiments chaos -D` denies on.
+    pub fn escaped(&self) -> bool {
+        match (&self.injected, &self.outcome) {
+            (None, _) => false,
+            (Some(ChaosFault::Panic), RungOutcome::Panicked(_)) => false,
+            (Some(ChaosFault::Exhaust), RungOutcome::SchedulerFailed(_)) => false,
+            (Some(ChaosFault::Corrupt(_)), RungOutcome::GateRejected { .. }) => false,
+            (Some(_), _) => true,
+        }
+    }
+
+    /// One-line rendering for quarantine reports and proptest messages.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}: {}", self.rung, self.outcome.tag());
+        match &self.outcome {
+            RungOutcome::SchedulerFailed(m) | RungOutcome::Panicked(m) => {
+                out.push_str(&format!(" ({m})"));
+            }
+            RungOutcome::LintRejected { errors } | RungOutcome::GateRejected { errors } => {
+                out.push_str(&format!(" ({errors} error findings)"));
+            }
+            RungOutcome::Accepted => {}
+        }
+        if let Some(f) = &self.injected {
+            out.push_str(&format!(" [injected {f:?}]"));
+        }
+        if self.deadline_hit {
+            out.push_str(" [deadline]");
+        }
+        out
+    }
+}
+
+/// Render a whole attempt trace, one rung per line — the
+/// shrinker-friendly failure message of the total-compilation proptest.
+pub fn render_attempts(attempts: &[RungAttempt]) -> String {
+    attempts
+        .iter()
+        .map(RungAttempt::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Chaos runs and panic-isolation tests inject panics on purpose, and
+/// every injected payload is prefixed `"chaos:"` (harness tests also
+/// use `"expected:"`). This installs a process-wide panic hook that
+/// suppresses the default backtrace spew for those recognizable
+/// payloads while real panics keep printing. Idempotent; safe to call
+/// from concurrent tests.
+pub fn hush_injected_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            let injected =
+                message.is_some_and(|m| m.starts_with("chaos:") || m.starts_with("expected:"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// What one rung produced before the gate.
+enum RungResult {
+    Scheduled(Box<CompiledLoop>),
+    Failed { message: String, deadline_hit: bool },
+}
+
+/// Compile `lp` down the degradation ladder: try each rung in order under
+/// panic isolation, gate every produced schedule through the `swp-verify`
+/// auditors, and ship the first one that passes. The result's
+/// [`CompiledLoop::rung`] names the winning rung and
+/// [`CompiledLoop::attempts`] traces every demotion that led there.
+///
+/// # Errors
+///
+/// [`CompileError::LadderExhausted`] when every rung is rejected — only
+/// possible for loops that fail the IR lints (nothing may certify them),
+/// for empty loops, or under chaos injection at the final rung.
+///
+/// # Panics
+///
+/// Only via [`ChaosOptions::panic_in_flight`], which deliberately panics
+/// *outside* rung isolation to exercise the outer containment layers.
+pub fn compile_ladder(
+    lp: &Loop,
+    machine: &Machine,
+    opts: &LadderOptions,
+) -> Result<CompiledLoop, CompileError> {
+    assert!(
+        !opts.chaos.panic_in_flight,
+        "chaos: injected in-flight panic (outside rung isolation)"
+    );
+    // Lint once, up front. Error lints mean the input itself is invalid:
+    // no rung's output could pass a gate that includes them, so record a
+    // single rejection instead of burning four rungs' budgets.
+    let lints = if opts.gate == VerifyLevel::Full {
+        swp_verify::lint_findings(lp, machine)
+    } else {
+        Vec::new()
+    };
+    let lint_errors = lints
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    if lint_errors > 0 {
+        return Err(CompileError::LadderExhausted {
+            attempts: vec![RungAttempt {
+                rung: Rung::Ilp,
+                outcome: RungOutcome::LintRejected {
+                    errors: lint_errors,
+                },
+                injected: None,
+                deadline_hit: false,
+            }],
+        });
+    }
+
+    let mut attempts: Vec<RungAttempt> = Vec::new();
+    for rung in Rung::ALL {
+        let fault = opts.chaos.fault_at(rung);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            attempt_rung(lp, machine, opts, rung, fault)
+        }));
+        let (outcome, injected, deadline_hit, compiled) = match run {
+            Err(payload) => (
+                RungOutcome::Panicked(panic_message(payload.as_ref())),
+                fault,
+                false,
+                None,
+            ),
+            Ok(RungResult::Failed {
+                message,
+                deadline_hit,
+            }) => {
+                // A planned corruption never applied to a failed rung.
+                let injected = match fault {
+                    Some(ChaosFault::Corrupt(_)) => None,
+                    f => f,
+                };
+                (
+                    RungOutcome::SchedulerFailed(message),
+                    injected,
+                    deadline_hit,
+                    None,
+                )
+            }
+            Ok(RungResult::Scheduled(compiled)) => {
+                let mut report = swp_verify::audit(&compiled.code, machine, opts.gate);
+                report.findings.splice(0..0, lints.clone());
+                match report.gate() {
+                    Ok(()) => (
+                        RungOutcome::Accepted,
+                        fault,
+                        compiled.stats.deadline_hit,
+                        Some((compiled, report)),
+                    ),
+                    Err(errors) => (
+                        RungOutcome::GateRejected { errors },
+                        fault,
+                        compiled.stats.deadline_hit,
+                        None,
+                    ),
+                }
+            }
+        };
+        attempts.push(RungAttempt {
+            rung,
+            outcome,
+            injected,
+            deadline_hit,
+        });
+        if let Some((compiled, report)) = compiled {
+            let mut compiled = *compiled;
+            // Any deadline-truncated attempt (even a failed earlier rung)
+            // made *which rung won* host-dependent; taint the result so
+            // the cache refuses to memoize it.
+            compiled.stats.deadline_hit = attempts.iter().any(|a| a.deadline_hit);
+            compiled.audit = Some(report);
+            compiled.rung = Some(rung);
+            compiled.attempts = attempts;
+            return Ok(compiled);
+        }
+    }
+    Err(CompileError::LadderExhausted { attempts })
+}
+
+/// Run one rung's scheduler (with chaos injection) and hand back either a
+/// compiled-but-ungated artifact or a structured failure. Called inside
+/// `catch_unwind`; panics here are the ladder's to absorb.
+fn attempt_rung(
+    lp: &Loop,
+    machine: &Machine,
+    opts: &LadderOptions,
+    rung: Rung,
+    fault: Option<ChaosFault>,
+) -> RungResult {
+    match fault {
+        Some(ChaosFault::Panic) => panic!("chaos: injected panic at {rung}"),
+        Some(ChaosFault::Exhaust) => {
+            return RungResult::Failed {
+                message: format!("chaos: injected budget exhaustion at {rung}"),
+                deadline_hit: false,
+            };
+        }
+        _ => {}
+    }
+    let result = match rung {
+        Rung::Ilp => compile_ilp(lp, machine, &opts.most.without_fallback()),
+        Rung::Heuristic => compile_heur(lp, machine, &opts.heur),
+        Rung::Escalated => {
+            let mut last = None;
+            for round in 1..=opts.escalation_rounds.max(1) {
+                match compile_heur(lp, machine, &opts.heur.escalated(round)) {
+                    Ok(c) => {
+                        last = Some(Ok(c));
+                        break;
+                    }
+                    Err(e) => last = Some(Err(e)),
+                }
+            }
+            last.expect("at least one escalation round runs")
+        }
+        Rung::Sequential => compile_sequential(lp, machine),
+    };
+    match result {
+        Ok(mut compiled) => {
+            if let Some(ChaosFault::Corrupt(how)) = fault {
+                compiled.code = corrupt(&compiled.code, how);
+            }
+            RungResult::Scheduled(Box::new(compiled))
+        }
+        Err(e) => {
+            let deadline_hit = matches!(
+                &e,
+                CompileError::Ilp(MostError::NoSchedule {
+                    deadline_hit: true,
+                    ..
+                })
+            );
+            RungResult::Failed {
+                message: e.to_string(),
+                deadline_hit,
+            }
+        }
+    }
+}
+
+/// Rung 3: the §4.1 list schedule, expanded through the *same* artifact
+/// pipeline as the pipelining rungs. With II = sequential iteration
+/// length every op sits in stage 0, so the "pipelined" loop degenerates
+/// to an empty prologue/epilogue around a one-iteration kernel — but it
+/// is a bona fide [`PipelinedLoop`] the auditors can certify and the
+/// simulator can run, which is what makes the gate meaningful on the
+/// final rung too.
+fn compile_sequential(lp: &Loop, machine: &Machine) -> Result<CompiledLoop, CompileError> {
+    if lp.is_empty() {
+        return Err(CompileError::Heuristic(swp_heur::PipelineError::EmptyLoop));
+    }
+    let t0 = std::time::Instant::now();
+    let ddg = Ddg::build(lp, machine);
+    let base = list_schedule(lp, &ddg, machine);
+    let schedule = base.as_schedule();
+    let sched_ns = elapsed_ns(t0);
+    let t1 = std::time::Instant::now();
+    let allocation = match allocate(lp, &schedule, machine) {
+        AllocOutcome::Allocated(a) => a,
+        AllocOutcome::Failed { .. } => {
+            // Unreachable for machine-sized loops (one non-overlapped
+            // iteration has minimal pressure), but a structured error
+            // beats a panic if a generated loop ever proves otherwise.
+            return Err(CompileError::Internal {
+                rung: Some(Rung::Sequential),
+                message: "sequential rung: register allocation failed".to_owned(),
+            });
+        }
+    };
+    let alloc_ns = elapsed_ns(t1);
+    let t2 = std::time::Instant::now();
+    let code = PipelinedLoop::expand(lp, &schedule, &allocation);
+    let expand_ns = elapsed_ns(t2);
+    Ok(CompiledLoop {
+        stats: CompileStats {
+            min_ii: ddg.min_ii(),
+            ii: code.ii(),
+            fell_back: false,
+            optimal: false,
+            search_effort: 0,
+            pivots: 0,
+            deadline_hit: false,
+            spills: 0,
+            sched_ns,
+            alloc_ns,
+            expand_ns,
+        },
+        code,
+        audit: None,
+        rung: None,
+        attempts: Vec::new(),
+    })
+}
+
+fn elapsed_ns(t: std::time::Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Apply one deterministic corruption to a compiled artifact. Each class
+/// is constructed to be *provably* wrong (cycle −1, register 999, a
+/// kernel op off its row), so a gate that fails to reject it has
+/// regressed — which is exactly what the chaos harness exists to catch.
+fn corrupt(code: &PipelinedLoop, how: Corruption) -> PipelinedLoop {
+    match how {
+        Corruption::NegativeTime => {
+            let s = code.schedule();
+            let mut times = s.times().to_vec();
+            match times.first_mut() {
+                Some(t) => *t = -1,
+                None => return code.clone(),
+            }
+            code.with_tampered_schedule(Schedule::new(s.ii(), times))
+        }
+        Corruption::ClobberedRegister => {
+            match code.body().ops().iter().find_map(|o| o.result) {
+                Some(v) => {
+                    code.with_tampered_allocation(code.allocation().with_assignment(v, 0, 999))
+                }
+                // A store-only body defines nothing to clobber; fall back
+                // to the expansion corruption so the injection still lands.
+                None => corrupt(code, Corruption::TamperedExpansion),
+            }
+        }
+        Corruption::TamperedExpansion => {
+            let Some(&op) = code.kernel().first() else {
+                return code.clone();
+            };
+            let mut op = op;
+            op.cycle += 1;
+            code.with_tampered_op(CodeSection::Kernel, 0, op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_loop, SchedulerChoice};
+    use swp_ir::LoopBuilder;
+
+    fn saxpy() -> Loop {
+        let mut b = LoopBuilder::new("saxpy");
+        let a = b.invariant_f("a");
+        let x = b.array("x", 8);
+        let y = b.array("y", 8);
+        let xv = b.load(x, 0, 8);
+        let yv = b.load(y, 0, 8);
+        let r = b.fmadd(a, xv, yv);
+        b.store(y, 0, 8, r);
+        b.finish()
+    }
+
+    /// Deterministic ladder budgets: node/pivot counts only, no wall
+    /// clocks, so tests reproduce on any host.
+    fn quick() -> LadderOptions {
+        LadderOptions {
+            most: MostOptions {
+                node_limit: 20_000,
+                pivot_limit: 400_000,
+                time_limit: None,
+                loop_time_limit: None,
+                loop_pivot_limit: Some(1_200_000),
+                max_ops: 64,
+                ..MostOptions::default()
+            },
+            ..LadderOptions::default()
+        }
+    }
+
+    #[test]
+    fn quiet_ladder_ships_rung_0_with_a_clean_gate() {
+        let m = Machine::r8000();
+        let c = compile_ladder(&saxpy(), &m, &quick()).expect("total");
+        assert_eq!(c.rung, Some(Rung::Ilp));
+        assert_eq!(c.attempts.len(), 1);
+        assert_eq!(c.attempts[0].outcome, RungOutcome::Accepted);
+        let report = c.audit.as_ref().expect("gate always audits");
+        assert!(report.is_clean(), "{}", report.render_human());
+        // Rung 0 matches a plain ILP compile of the same budgets.
+        let plain = compile_loop(
+            &saxpy(),
+            &m,
+            &SchedulerChoice::IlpWith(quick().most.without_fallback()),
+        )
+        .expect("ilp");
+        assert_eq!(c.stats.ii, plain.stats.ii);
+        assert!(!c.stats.fell_back);
+    }
+
+    #[test]
+    fn injected_panic_demotes_and_is_traced() {
+        hush_injected_panics();
+        let m = Machine::r8000();
+        let opts = LadderOptions {
+            chaos: ChaosOptions::default().with_fault(Rung::Ilp, ChaosFault::Panic),
+            ..quick()
+        };
+        let c = compile_ladder(&saxpy(), &m, &opts).expect("total");
+        assert_eq!(c.rung, Some(Rung::Heuristic));
+        assert!(matches!(c.attempts[0].outcome, RungOutcome::Panicked(_)));
+        assert_eq!(c.attempts[0].injected, Some(ChaosFault::Panic));
+        assert!(!c.attempts[0].escaped(), "panic was contained");
+        assert_eq!(c.attempts[1].outcome, RungOutcome::Accepted);
+    }
+
+    #[test]
+    fn faults_at_every_upper_rung_land_on_the_sequential_rung() {
+        hush_injected_panics();
+        let m = Machine::r8000();
+        for fault in [
+            ChaosFault::Panic,
+            ChaosFault::Exhaust,
+            ChaosFault::Corrupt(Corruption::NegativeTime),
+            ChaosFault::Corrupt(Corruption::ClobberedRegister),
+            ChaosFault::Corrupt(Corruption::TamperedExpansion),
+        ] {
+            let opts = LadderOptions {
+                chaos: ChaosOptions::default()
+                    .with_fault(Rung::Ilp, fault)
+                    .with_fault(Rung::Heuristic, fault)
+                    .with_fault(Rung::Escalated, fault),
+                ..quick()
+            };
+            let c = compile_ladder(&saxpy(), &m, &opts).expect("rung 3 is total");
+            assert_eq!(c.rung, Some(Rung::Sequential), "{fault:?}");
+            assert_eq!(c.attempts.len(), 4);
+            assert!(
+                c.attempts.iter().all(|a| !a.escaped()),
+                "{fault:?} escaped:\n{}",
+                render_attempts(&c.attempts)
+            );
+            let report = c.audit.as_ref().expect("gated");
+            assert!(report.is_clean(), "{}", report.render_human());
+            // The sequential rung really is non-pipelined: one stage, no
+            // fill/drain code, II covering the whole iteration.
+            assert_eq!(c.code.stage_count(), 1);
+            assert!(c.code.prologue().is_empty());
+            assert!(c.code.epilogue().is_empty());
+            assert!(c.stats.ii >= c.stats.min_ii);
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected_by_the_gate_not_shipped() {
+        let m = Machine::r8000();
+        let opts = LadderOptions {
+            chaos: ChaosOptions::default().with_fault(
+                Rung::Heuristic,
+                ChaosFault::Corrupt(Corruption::NegativeTime),
+            ),
+            most: MostOptions {
+                // Push rung 0 out of the way deterministically.
+                max_ops: 0,
+                ..quick().most
+            },
+            ..quick()
+        };
+        let c = compile_ladder(&saxpy(), &m, &opts).expect("total");
+        assert!(matches!(
+            c.attempts[1].outcome,
+            RungOutcome::GateRejected { errors } if errors > 0
+        ));
+        assert_eq!(c.rung, Some(Rung::Escalated));
+        assert!(c.audit.as_ref().is_some_and(|r| r.is_clean()));
+    }
+
+    #[test]
+    fn gate_off_lets_a_corrupted_schedule_escape() {
+        // The negative control: what the verify gate is worth.
+        let m = Machine::r8000();
+        let opts = LadderOptions {
+            gate: VerifyLevel::Off,
+            chaos: ChaosOptions::default().with_fault(
+                Rung::Heuristic,
+                ChaosFault::Corrupt(Corruption::NegativeTime),
+            ),
+            most: MostOptions {
+                max_ops: 0,
+                ..quick().most
+            },
+            ..quick()
+        };
+        let c = compile_ladder(&saxpy(), &m, &opts).expect("compiles");
+        assert_eq!(c.rung, Some(Rung::Heuristic));
+        assert!(
+            c.attempts[1].escaped(),
+            "without the gate the corruption ships — and the trace says so"
+        );
+    }
+
+    #[test]
+    fn empty_loop_exhausts_the_ladder() {
+        let m = Machine::r8000();
+        let empty = LoopBuilder::new("empty").finish();
+        let e = compile_ladder(&empty, &m, &quick()).expect_err("nothing to schedule");
+        match e {
+            CompileError::LadderExhausted { attempts } => {
+                assert!(!attempts.is_empty());
+                assert!(
+                    attempts.iter().all(|a| a.outcome != RungOutcome::Accepted),
+                    "{}",
+                    render_attempts(&attempts)
+                );
+            }
+            other => panic!("expected LadderExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escalation_widens_budgets_exponentially() {
+        let base = HeurOptions::default();
+        let r1 = base.escalated(1);
+        let r2 = base.escalated(2);
+        assert_eq!(r1.backtrack_budget, base.backtrack_budget * 4);
+        assert_eq!(r2.backtrack_budget, base.backtrack_budget * 16);
+        assert_eq!(r2.max_ii_factor, base.max_ii_factor + 2);
+    }
+}

@@ -52,6 +52,7 @@
 mod cache;
 mod compare;
 mod compile;
+mod ladder;
 mod par;
 mod suite;
 
@@ -61,10 +62,15 @@ pub use compile::{
     compile_baseline, compile_loop, compile_loop_with, CompileError, CompileOptions, CompileStats,
     CompiledLoop, SchedulerChoice,
 };
-pub use par::Driver;
+pub use ladder::{
+    compile_ladder, hush_injected_panics, render_attempts, ChaosFault, ChaosOptions, Corruption,
+    LadderOptions, Rung, RungAttempt, RungOutcome,
+};
+pub use par::{Driver, JobPanic};
 pub use suite::{
-    audit_suite_with, geometric_mean, run_suite, run_suite_baseline, run_suite_baseline_with,
-    run_suite_with, LoopAudit, SuiteAudit, SuiteResult,
+    audit_suite_with, geometric_mean, ladder_suite_with, run_suite, run_suite_baseline,
+    run_suite_baseline_with, run_suite_with, LadderLoopReport, LadderSuccess, LoopAudit,
+    SuiteAudit, SuiteLadder, SuiteResult,
 };
 pub use swp_verify::{Finding, Severity, VerifyLevel, VerifyReport};
 

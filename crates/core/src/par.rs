@@ -16,14 +16,33 @@
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 use crate::cache::{CacheStats, ScheduleCache};
 use crate::compile::{
     compile_loop, compile_loop_with, CompileError, CompileOptions, CompiledLoop, SchedulerChoice,
 };
+use crate::ladder::panic_message;
 use swp_ir::Loop;
 use swp_machine::Machine;
+
+/// A job that panicked under [`Driver::run_indexed_catching`], reduced to
+/// its index and (best-effort) message. The payload itself is dropped: it
+/// is not `Sync`, and quarantine reports only need something printable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the panicking job.
+    pub job: usize,
+    /// Panic message, when the payload was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
+    }
+}
 
 /// A thread-pool + schedule-cache pair that drives compiles.
 #[derive(Clone)]
@@ -91,7 +110,10 @@ impl Driver {
         self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
-    /// Compile one loop, consulting the cache when enabled.
+    /// Compile one loop, consulting the cache when enabled. A panicking
+    /// scheduler is caught at this boundary and surfaced as
+    /// [`CompileError::Internal`] — one bad loop fails its own job, not
+    /// the pool.
     ///
     /// # Errors
     ///
@@ -102,14 +124,16 @@ impl Driver {
         machine: &Machine,
         choice: &SchedulerChoice,
     ) -> Result<Arc<CompiledLoop>, CompileError> {
-        match &self.cache {
+        catch_internal(|| match &self.cache {
             Some(cache) => cache.get_or_compile(lp, machine, choice),
             None => compile_loop(lp, machine, choice).map(Arc::new),
-        }
+        })
     }
 
     /// Compile one loop with full [`CompileOptions`] (scheduler choice +
-    /// verify level), consulting the cache when enabled.
+    /// verify level), consulting the cache when enabled. Panics are
+    /// caught and surfaced as [`CompileError::Internal`], as in
+    /// [`Driver::compile`].
     ///
     /// # Errors
     ///
@@ -120,10 +144,10 @@ impl Driver {
         machine: &Machine,
         options: &CompileOptions,
     ) -> Result<Arc<CompiledLoop>, CompileError> {
-        match &self.cache {
+        catch_internal(|| match &self.cache {
             Some(cache) => cache.get_or_compile_with(lp, machine, options),
             None => compile_loop_with(lp, machine, options).map(Arc::new),
-        }
+        })
     }
 
     /// Run `f(0..jobs)` across the worker pool and return the results in
@@ -132,15 +156,63 @@ impl Driver {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any job.
+    /// Re-raises the panic of the lowest-indexed panicking job — but only
+    /// after **every** job has run, so one poisoned loop cannot abort its
+    /// siblings mid-flight, and which panic surfaces does not depend on
+    /// thread timing. Callers who need all jobs' outcomes use
+    /// [`Driver::run_indexed_catching`] instead.
     pub fn run_indexed<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(jobs);
+        for r in self.run_indexed_raw(jobs, f) {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// [`Driver::run_indexed`] with panics as data: each job yields
+    /// either its result or a [`JobPanic`], in job order. Nothing
+    /// unwinds out of this call; the pool always completes every job.
+    pub fn run_indexed_catching<T, F>(&self, jobs: usize, f: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_indexed_raw(jobs, f)
+            .into_iter()
+            .enumerate()
+            .map(|(job, r)| {
+                r.map_err(|p| JobPanic {
+                    job,
+                    message: panic_message(p.as_ref()),
+                })
+            })
+            .collect()
+    }
+
+    /// The shared engine: every job runs under `catch_unwind` (on the
+    /// sequential path too, so thread count never changes what callers
+    /// observe) and parks its `Result` in its own slot.
+    fn run_indexed_raw<T, F>(
+        &self,
+        jobs: usize,
+        f: F,
+    ) -> Vec<Result<T, Box<dyn std::any::Any + Send>>>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.threads.min(jobs);
         if workers <= 1 {
-            return (0..jobs).map(f).collect();
+            return (0..jobs)
+                .map(|i| catch_unwind(AssertUnwindSafe(|| f(i))))
+                .collect();
         }
         // Round-robin seeding spreads long jobs (suites and loops arrive
         // roughly sorted by size) across workers; stealing rebalances
@@ -148,7 +220,8 @@ impl Driver {
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
             .map(|w| Mutex::new((0..jobs).skip(w).step_by(workers).collect()))
             .collect();
-        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        type Slot<T> = Mutex<Option<Result<T, Box<dyn std::any::Any + Send>>>>;
+        let slots: Vec<Slot<T>> = (0..jobs).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
@@ -157,16 +230,14 @@ impl Driver {
                     let f = &f;
                     s.spawn(move || {
                         while let Some(job) = next_job(queues, w) {
-                            let result = f(job);
+                            let result = catch_unwind(AssertUnwindSafe(|| f(job)));
                             *slots[job].lock().expect("result slot lock") = Some(result);
                         }
                     })
                 })
                 .collect();
             for h in handles {
-                if let Err(panic) = h.join() {
-                    std::panic::resume_unwind(panic);
-                }
+                h.join().expect("worker loops catch their jobs' panics");
             }
         });
         slots
@@ -177,6 +248,21 @@ impl Driver {
                     .expect("queues drained, so every job ran")
             })
             .collect()
+    }
+}
+
+/// Run `f` under `catch_unwind`, converting a panic into the structured
+/// [`CompileError::Internal`] that quarantine reports are built from.
+fn catch_internal<F>(f: F) -> Result<Arc<CompiledLoop>, CompileError>
+where
+    F: FnOnce() -> Result<Arc<CompiledLoop>, CompileError>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(CompileError::Internal {
+            rung: None,
+            message: panic_message(payload.as_ref()),
+        }),
     }
 }
 
@@ -243,5 +329,57 @@ mod tests {
         let driver = Driver::uncached(2);
         assert!(driver.cache().is_none());
         assert_eq!(driver.cache_stats(), CacheStats::default());
+    }
+
+    use crate::ladder::hush_injected_panics;
+
+    #[test]
+    fn catching_pool_survives_panicking_jobs() {
+        hush_injected_panics();
+        for threads in [1, 2, 8] {
+            let driver = Driver::uncached(threads);
+            let ran: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(0)).collect();
+            let out = driver.run_indexed_catching(ran.len(), |i| {
+                ran[i].fetch_add(1, Ordering::Relaxed);
+                assert!(i % 7 != 3, "expected: job {i}");
+                i
+            });
+            // Every job ran exactly once, panicking or not.
+            assert!(ran.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => {
+                        assert_eq!(*v, i);
+                        assert!(i % 7 != 3);
+                    }
+                    Err(p) => {
+                        assert_eq!(p.job, i);
+                        assert!(i % 7 == 3, "only planted panics fail");
+                        assert!(p.message.contains(&format!("expected: job {i}")));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_indexed_resumes_the_first_panic_in_job_order() {
+        hush_injected_panics();
+        // Jobs 5 and 11 both panic; regardless of which thread hits which
+        // first, the surfaced panic must be job 5's, and every other job
+        // must still have run.
+        for threads in [2, 8] {
+            let driver = Driver::uncached(threads);
+            let ran: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                driver.run_indexed(ran.len(), |i| {
+                    ran[i].fetch_add(1, Ordering::Relaxed);
+                    assert!(i != 5 && i != 11, "expected: job {i}");
+                })
+            }));
+            let payload = caught.expect_err("a planted panic must surface");
+            assert!(panic_message(payload.as_ref()).contains("expected: job 5"));
+            assert!(ran.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
     }
 }

@@ -12,11 +12,12 @@
 use crate::compile::{
     compile_baseline, compile_loop, CompileError, CompileOptions, SchedulerChoice,
 };
+use crate::ladder::{LadderOptions, Rung, RungAttempt};
 use crate::par::Driver;
 use swp_kernels::Suite;
 use swp_machine::Machine;
 use swp_sim::{simulate, simulate_baseline};
-use swp_verify::{Severity, VerifyReport};
+use swp_verify::{Severity, VerifyLevel, VerifyReport};
 
 /// Result of running one suite under one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +195,127 @@ pub fn audit_suite_with(
     })
 }
 
+/// The accepted outcome of one loop's trip down the degradation ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderSuccess {
+    /// The rung that produced the shipped schedule.
+    pub rung: Rung,
+    /// Achieved II.
+    pub ii: u32,
+    /// Whether the shipped schedule's gate report is clean (it always
+    /// passed the gate — this additionally counts warnings as absent).
+    pub clean: bool,
+    /// The full attempt trace, demotion by demotion.
+    pub attempts: Vec<RungAttempt>,
+}
+
+/// One loop's ladder outcome: a success with its trace, or the error that
+/// exhausted (or aborted) the ladder. Errors are *data* here — a
+/// quarantined loop is a row in the report, not a failure of the run.
+#[derive(Debug, Clone)]
+pub struct LadderLoopReport {
+    /// Loop name within the suite.
+    pub loop_name: String,
+    /// The outcome.
+    pub outcome: Result<LadderSuccess, CompileError>,
+}
+
+impl LadderLoopReport {
+    /// The attempt trace, wherever it lives (success or exhaustion);
+    /// empty for errors without one (e.g. a caught in-flight panic).
+    pub fn attempts(&self) -> &[RungAttempt] {
+        match &self.outcome {
+            Ok(s) => &s.attempts,
+            Err(CompileError::LadderExhausted { attempts }) => attempts,
+            Err(_) => &[],
+        }
+    }
+
+    /// Injected faults that escaped their containment on this loop.
+    pub fn escapes(&self) -> usize {
+        self.attempts().iter().filter(|a| a.escaped()).count()
+    }
+}
+
+/// Ladder outcomes for every loop of a suite — the quarantine report:
+/// rung usage, escapes, and which loops no rung could save.
+#[derive(Debug, Clone)]
+pub struct SuiteLadder {
+    /// Suite name.
+    pub name: String,
+    /// Per-loop reports in suite order.
+    pub loops: Vec<LadderLoopReport>,
+}
+
+impl SuiteLadder {
+    /// How many loops each rung rescued, indexed by [`Rung::index`].
+    pub fn rung_usage(&self) -> [usize; 4] {
+        let mut usage = [0; 4];
+        for l in &self.loops {
+            if let Ok(s) = &l.outcome {
+                usage[s.rung.index()] += 1;
+            }
+        }
+        usage
+    }
+
+    /// Loops whose ladder produced no schedule at all.
+    pub fn quarantined(&self) -> usize {
+        self.loops.iter().filter(|l| l.outcome.is_err()).count()
+    }
+
+    /// Injected faults that escaped containment, summed over all loops.
+    pub fn escapes(&self) -> usize {
+        self.loops.iter().map(LadderLoopReport::escapes).sum()
+    }
+
+    /// Whether every loop compiled and every shipped schedule is clean.
+    pub fn all_clean(&self) -> bool {
+        self.loops
+            .iter()
+            .all(|l| matches!(&l.outcome, Ok(s) if s.clean))
+    }
+}
+
+/// Run every loop of a suite down the degradation ladder through
+/// `driver`'s pool and cache, and collect the quarantine report. Unlike
+/// the other suite runners this never propagates an error: a loop that
+/// exhausts the ladder (or dies to a caught panic) is reported, and the
+/// rest of the suite still completes — which is the whole point of the
+/// ladder.
+pub fn ladder_suite_with(
+    driver: &Driver,
+    suite: &Suite,
+    machine: &Machine,
+    opts: &LadderOptions,
+) -> SuiteLadder {
+    let options = CompileOptions {
+        choice: SchedulerChoice::LadderWith(Box::new(opts.clone())),
+        // The ladder's own gate audits; the outer verify level is unused
+        // on this path (see `compile_loop_with`).
+        verify: VerifyLevel::Off,
+    };
+    let loops: Vec<LadderLoopReport> = driver.run_indexed(suite.loops.len(), |i| {
+        let wl = &suite.loops[i];
+        let outcome = driver
+            .compile_with(&wl.body, machine, &options)
+            .map(|c| LadderSuccess {
+                rung: c.rung.expect("ladder results carry their rung"),
+                ii: c.stats.ii,
+                clean: c.audit.as_ref().is_some_and(VerifyReport::is_clean),
+                attempts: c.attempts.clone(),
+            });
+        LadderLoopReport {
+            loop_name: wl.name.to_owned(),
+            outcome,
+        }
+    });
+    SuiteLadder {
+        name: suite.name.to_owned(),
+        loops,
+    }
+}
+
 /// Geometric mean of per-suite ratios — the SPEC aggregation the paper
 /// uses ("calculated as the geometric mean of the results on each
 /// benchmark").
@@ -265,5 +387,37 @@ mod tests {
     fn geometric_mean_basics() {
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn ladder_suite_compiles_every_loop_and_accounts_for_each() {
+        let m = Machine::r8000();
+        let suite = swp_kernels::spec_suites()
+            .into_iter()
+            .find(|s| s.name == "alvinn")
+            .expect("alvinn exists");
+        let driver = Driver::new(2);
+        let opts = crate::LadderOptions {
+            most: swp_most::MostOptions {
+                node_limit: 20_000,
+                pivot_limit: 400_000,
+                time_limit: None,
+                loop_time_limit: None,
+                loop_pivot_limit: Some(1_200_000),
+                max_ops: 64,
+                ..swp_most::MostOptions::default()
+            },
+            ..crate::LadderOptions::default()
+        };
+        let report = ladder_suite_with(&driver, &suite, &m, &opts);
+        assert_eq!(report.loops.len(), suite.loops.len());
+        assert_eq!(report.quarantined(), 0, "nothing to quarantine");
+        assert_eq!(report.escapes(), 0, "no chaos, no escapes");
+        assert!(report.all_clean(), "{:?}", report);
+        assert_eq!(
+            report.rung_usage().iter().sum::<usize>(),
+            suite.loops.len(),
+            "every loop is accounted to exactly one rung"
+        );
     }
 }

@@ -48,6 +48,22 @@ impl Default for HeurOptions {
     }
 }
 
+impl HeurOptions {
+    /// The degradation ladder's rung-2 configuration at escalation `round`
+    /// (1-based): the backtrack budget quadruples per round and the MaxII
+    /// circuit breaker widens by one MinII multiple per round, trading
+    /// schedule quality for schedulability. Both escalations are pure work
+    /// measures, so an escalated search reproduces exactly on any host.
+    pub fn escalated(&self, round: u32) -> HeurOptions {
+        let shift = (2 * round).min(20);
+        HeurOptions {
+            backtrack_budget: self.backtrack_budget.max(1).saturating_mul(1 << shift),
+            max_ii_factor: self.max_ii_factor.saturating_add(round),
+            ..self.clone()
+        }
+    }
+}
+
 /// Aggregate statistics of a pipelining run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineStats {

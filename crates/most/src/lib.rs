@@ -102,6 +102,19 @@ impl Default for MostOptions {
     }
 }
 
+impl MostOptions {
+    /// The same budgets with the internal heuristic fallback disabled.
+    /// The degradation ladder runs MOST this way: demotion to the
+    /// heuristic is the ladder's job, and keeping the fallback inside
+    /// MOST would blur which rung actually produced a schedule.
+    pub fn without_fallback(&self) -> MostOptions {
+        MostOptions {
+            fallback: false,
+            ..self.clone()
+        }
+    }
+}
+
 /// Statistics of a MOST run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MostStats {

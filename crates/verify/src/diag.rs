@@ -151,6 +151,21 @@ impl VerifyReport {
         self.count(Severity::Error) == 0
     }
 
+    /// The report as an accept/reject decision: `Ok` when no finding is
+    /// error-severity, otherwise `Err` with the error count. This is how
+    /// the degradation ladder uses the auditors as a *gate* — a rejected
+    /// rung demotes to the next one instead of shipping a bad schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the number of error-severity findings when there are any.
+    pub fn gate(&self) -> Result<(), usize> {
+        match self.count(Severity::Error) {
+            0 => Ok(()),
+            n => Err(n),
+        }
+    }
+
     /// Findings at exactly this severity.
     pub fn count(&self, severity: Severity) -> usize {
         self.findings
@@ -229,11 +244,13 @@ mod tests {
             ],
         };
         assert!(r.is_clean());
+        assert_eq!(r.gate(), Ok(()));
         r.findings
             .push(Finding::error("SWP-V202", "conflict").at_op(OpId(3)));
         assert!(!r.is_clean());
         assert_eq!(r.count(Severity::Error), 1);
         assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.gate(), Err(1), "warnings pass the gate, errors reject");
     }
 
     #[test]
