@@ -8,7 +8,7 @@
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
 //! ii-compare solver ablation-order ablation-iisearch ablation-spill
-//! speedup all audit chaos`.
+//! speedup all audit chaos profile bench`.
 //!
 //! `audit` (not part of `all`) compiles every suite loop under both
 //! schedulers at full verification and prints a findings table; with `-D`
@@ -25,6 +25,18 @@
 //! nonzero when any committed work floor is violated, which is how CI
 //! catches solver-efficiency regressions without trusting wall clocks.
 //!
+//! `profile` (not part of `all`) runs the traced profile workload and
+//! prints the telemetry compile-report; with `--trace FILE` it exports
+//! the Chrome `trace_event` JSON (load it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>) after schema-validating it. It always runs
+//! the dead-metric lint — an `Exact` metric registered but never
+//! incremented exits nonzero — which is how CI keeps the registry honest.
+//!
+//! `bench` (not part of `all`) writes the machine-readable perf snapshot
+//! (`--json FILE`, committed as `BENCH_pr5.json` and uploaded as a CI
+//! artifact): per-suite cold/warm wall time, per-scheduler compile time,
+//! cache hit rate, and the full exact-counter dump.
+//!
 //! Result figures run on a shared parallel [`Driver`] (`--threads N`,
 //! default: all cores) whose schedule cache carries compiles across
 //! figures; each figure reports the cache hits/misses it contributed.
@@ -37,8 +49,8 @@ use showdown::Driver;
 use swp_bench::{
     ablation_ii_search, ablation_order, ablation_spill, audit_with, chaos_rung_usage,
     chaos_scenarios, chaos_with, compile_speed, driver_speedup, fig2_geomean, fig2_with, fig3_with,
-    fig4_with, fig5_with, fig6_fig7_with, ii_compare_with, loop_size, solver_gate, solver_speed,
-    Effort,
+    fig4_with, fig5_with, fig6_fig7_with, ii_compare_with, loop_size, perf_snapshot,
+    profile_workload, solver_gate, solver_speed, Effort,
 };
 use swp_heur::PriorityHeuristic;
 use swp_machine::Machine;
@@ -416,6 +428,74 @@ fn main() {
         println!("total containment violations: {total_violations}");
         if deny && total_violations > 0 {
             std::process::exit(1);
+        }
+    }
+
+    if cmd == "profile" {
+        let trace_path = args
+            .iter()
+            .position(|a| a == "--trace")
+            .and_then(|i| args.get(i + 1));
+        println!("== Profile: traced telemetry over the profile workload ==");
+        let report = profile_workload(&m, threads);
+        print!("{}", report.telemetry.render_report());
+        println!(
+            "compiles issued: {}; cache: {} hits / {} misses; spans recorded: {}",
+            report.loops,
+            report.cache.hits,
+            report.cache.misses,
+            report.telemetry.span_count()
+        );
+        if let Some(path) = trace_path {
+            let json = report.telemetry.chrome_trace_json();
+            match swp_obs::validate_chrome_trace(&json) {
+                Ok(events) => println!("trace: {events} events, schema ok"),
+                Err(e) => {
+                    eprintln!("trace: INVALID chrome trace — {e}");
+                    std::process::exit(1);
+                }
+            }
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+            println!("trace written to {path}");
+        }
+        let dead = report.telemetry.dead_exact_metrics();
+        if dead.is_empty() {
+            println!("dead-metric lint: ok (every Exact metric incremented)");
+        } else {
+            println!("dead-metric lint: FAIL — registered but never incremented: {dead:?}");
+            std::process::exit(1);
+        }
+    }
+
+    if cmd == "bench" {
+        let json_path = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1));
+        println!("== Bench snapshot: per-suite wall time, per-scheduler compile time ==");
+        let json = perf_snapshot(&m, threads, 5);
+        let parsed = swp_obs::parse_json(&json).expect("snapshot serializer emits valid JSON");
+        let suites = parsed
+            .get("suites")
+            .and_then(swp_obs::JsonValue::as_array)
+            .map_or(0, <[swp_obs::JsonValue]>::len);
+        let hit_rate = parsed
+            .get("cache")
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(swp_obs::JsonValue::as_number)
+            .unwrap_or(0.0);
+        let pivots = parsed
+            .get("total_pivots")
+            .and_then(swp_obs::JsonValue::as_number)
+            .unwrap_or(0.0);
+        println!(
+            "{suites} suite x scheduler rows; cache hit rate {:.0}%; {pivots} total pivots",
+            100.0 * hit_rate
+        );
+        if let Some(path) = json_path {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| panic!("writing snapshot to {path}: {e}"));
+            println!("snapshot written to {path}");
         }
     }
 

@@ -15,6 +15,7 @@ use swp_heur::{HeurOptions, PriorityHeuristic};
 use swp_kernels::{livermore, spec_suites, GenParams, Suite};
 use swp_machine::Machine;
 use swp_most::MostOptions;
+use swp_obs::{Counter, Telemetry};
 
 /// Experiment sizing: `quick` shrinks ILP budgets and trip counts so the
 /// whole harness runs in CI time; `full` uses paper-scale settings.
@@ -669,6 +670,7 @@ pub fn audit_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<Aud
         let options = CompileOptions {
             choice: choice.clone(),
             verify: VerifyLevel::Full,
+            ..CompileOptions::default()
         };
         let audit =
             audit_suite_with(&inner, suite, machine, &options).expect("every suite loop compiles");
@@ -948,6 +950,13 @@ impl SolverSpeed {
 /// tighter than [`Effort::Quick`]'s: a gate must be cheap enough to run
 /// on every CI push, and a solver-efficiency regression shows up at any
 /// budget size.
+///
+/// Node and pivot totals are read from the [`swp_obs`] counter registry
+/// ([`Counter::IlpNodes`] / [`Counter::IlpPivots`] deltas around each
+/// kernel) rather than from private solver fields, so the gate exercises
+/// the same telemetry path every other consumer sees. With fallback off,
+/// only `solve_ilp` runs between the snapshots, so the deltas equal the
+/// old per-result stats exactly.
 pub fn solver_speed(machine: &Machine) -> SolverSpeed {
     let opts = MostOptions {
         fallback: false,
@@ -957,25 +966,22 @@ pub fn solver_speed(machine: &Machine) -> SolverSpeed {
         loop_time_limit: None,
         ..MostOptions::default()
     };
+    let telemetry = Telemetry::new();
+    let _ambient = telemetry.install();
     let rows = livermore()
         .into_iter()
-        .map(|k| match swp_most::pipeline_most(&k.body, machine, &opts) {
-            Ok(r) => SolverRow {
+        .map(|k| {
+            let before = telemetry.counters();
+            let outcome = swp_most::pipeline_most(&k.body, machine, &opts);
+            let work = telemetry.counters().minus(&before);
+            SolverRow {
                 number: k.number,
                 name: k.name,
                 ops: k.body.len(),
-                ii: Some(r.ii()),
-                nodes: r.stats.nodes,
-                pivots: r.stats.pivots,
-            },
-            Err(_) => SolverRow {
-                number: k.number,
-                name: k.name,
-                ops: k.body.len(),
-                ii: None,
-                nodes: 0,
-                pivots: 0,
-            },
+                ii: outcome.ok().map(|r| r.ii()),
+                nodes: work.get(Counter::IlpNodes),
+                pivots: work.get(Counter::IlpPivots),
+            }
         })
         .collect();
     SolverSpeed { rows }
@@ -1112,6 +1118,263 @@ pub fn ablation_spill(machine: &Machine) -> SpillAblation {
         }
     }
     out
+}
+
+/// What one traced run of the [`profile_workload`] produced: the
+/// telemetry handle (spans, counters, histograms — render or export it),
+/// how many compiles were issued, and the driver-side cache tallies.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// The traced handle every compile in the workload reported into.
+    pub telemetry: Telemetry,
+    /// Compiles issued (including deliberate cache re-queries).
+    pub loops: usize,
+    /// Hit/miss tallies from the workload driver's schedule cache.
+    pub cache: showdown::CacheStats,
+}
+
+/// The `experiments profile` workload: a deliberately varied compile mix
+/// chosen so that **every** [`swp_obs::Class::Exact`] metric in the
+/// registry increments at least once — which is what lets the CI profile
+/// job lint for dead metrics. The pieces:
+///
+/// - the 24 Livermore kernels under both schedulers (heuristic at
+///   [`VerifyLevel::Full`] for audit counters, ILP at quick budgets for
+///   solver counters and buffer histograms), then a re-query of the
+///   heuristic set for cache hits;
+/// - four degradation-ladder scenarios over small kernels: a quiet
+///   control, an injected rung-0 panic, an injected rung-0 corruption
+///   (gate rejections and verify findings), and the gate-off escape that
+///   proves [`Counter::LadderChaosEscapes`] can fire;
+/// - the tiny-register-file spill loops from [`ablation_spill`], driven
+///   through `swp_heur::pipeline` for spill/backtrack counters;
+/// - one `max_ops: 1` MOST compile to force the heuristic fallback.
+pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
+    showdown::hush_injected_panics();
+    let telemetry = Telemetry::with_tracing();
+    // Direct swp_heur/swp_most calls below report through the ambient
+    // collector; driver compiles carry the handle in their options.
+    let _ambient = telemetry.install();
+    let driver = Driver::new(threads);
+    let mut loops = 0usize;
+
+    // Livermore under both schedulers, then a cache re-query.
+    let heur = CompileOptions {
+        choice: SchedulerChoice::Heuristic,
+        verify: VerifyLevel::Full,
+        telemetry: telemetry.clone(),
+    };
+    let ilp = CompileOptions {
+        choice: SchedulerChoice::IlpWith(Effort::Quick.most_options()),
+        verify: VerifyLevel::Off,
+        telemetry: telemetry.clone(),
+    };
+    let kernels = livermore();
+    for k in &kernels {
+        let _ = driver.compile_with(&k.body, machine, &heur);
+        let _ = driver.compile_with(&k.body, machine, &ilp);
+        loops += 2;
+    }
+    for k in &kernels {
+        let _ = driver.compile_with(&k.body, machine, &heur);
+        loops += 1;
+    }
+
+    // Ladder scenarios. `max_ops: 0` in the escape recipe demotes rung 0
+    // instantly so the corrupted heuristic schedule ships past the
+    // disabled gate — the one configuration where an injected fault is
+    // *supposed* to escape.
+    let quick_most = |max_ops: usize| MostOptions {
+        node_limit: 2_000,
+        pivot_limit: 20_000,
+        time_limit: None,
+        loop_time_limit: None,
+        loop_pivot_limit: Some(60_000),
+        max_ops,
+        ..MostOptions::default()
+    };
+    let ladder = |chaos: ChaosOptions, gate: VerifyLevel, max_ops: usize| CompileOptions {
+        choice: SchedulerChoice::LadderWith(Box::new(LadderOptions {
+            most: quick_most(max_ops),
+            gate,
+            chaos,
+            escalation_rounds: 2,
+            ..LadderOptions::default()
+        })),
+        verify: VerifyLevel::Off,
+        telemetry: telemetry.clone(),
+    };
+    let scenarios = [
+        ladder(ChaosOptions::default(), VerifyLevel::Full, 12),
+        ladder(
+            ChaosOptions::default().with_fault(Rung::Ilp, ChaosFault::Panic),
+            VerifyLevel::Full,
+            12,
+        ),
+        ladder(
+            ChaosOptions::default()
+                .with_fault(Rung::Ilp, ChaosFault::Corrupt(Corruption::NegativeTime)),
+            VerifyLevel::Full,
+            12,
+        ),
+        ladder(
+            ChaosOptions::default().with_fault(
+                Rung::Heuristic,
+                ChaosFault::Corrupt(Corruption::NegativeTime),
+            ),
+            VerifyLevel::Off,
+            0,
+        ),
+    ];
+    for options in &scenarios {
+        for k in kernels.iter().take(3) {
+            let _ = driver.compile_with(&k.body, machine, options);
+            loops += 1;
+        }
+    }
+
+    // Register-pressure loops on a tiny register file: spill rounds,
+    // spilled values, and scheduling backtracks.
+    let tiny = swp_machine::MachineBuilder::new("tiny-regs")
+        .allocatable(swp_machine::RegClass::Float, 8)
+        .build();
+    for seed in 0..8u64 {
+        let lp = swp_kernels::random_loop(
+            &GenParams {
+                ops: 24,
+                mem_fraction: 0.25,
+                recurrences: 0,
+                div_fraction: 0.0,
+            },
+            seed,
+        );
+        let _ = swp_heur::pipeline(&lp, &tiny, &HeurOptions::default());
+        loops += 1;
+    }
+
+    // A 1-op ceiling turns every MOST compile into a heuristic fallback.
+    let _ = swp_most::pipeline_most(&kernels[0].body, machine, &quick_most(1));
+    loops += 1;
+
+    ProfileReport {
+        telemetry,
+        loops,
+        cache: driver.cache_stats(),
+    }
+}
+
+/// Build the machine-readable bench snapshot behind `experiments bench
+/// --json` (committed as `BENCH_pr5.json`, uploaded as a CI artifact).
+///
+/// Every SPEC-like suite is compiled under both schedulers twice — a
+/// cold pass and a warm pass through the same driver cache — recording
+/// per-suite wall time for each pass and summed in-compiler nanoseconds
+/// ([`showdown::CompileStats`]) per scheduler. Counter totals come from
+/// the [`swp_obs`] registry, so the reported pivot/node work is the same
+/// number every other telemetry consumer sees.
+pub fn perf_snapshot(machine: &Machine, threads: usize, pr: u64) -> String {
+    let telemetry = Telemetry::new();
+    let driver = Driver::new(threads);
+    let schedulers: [(&'static str, SchedulerChoice); 2] = [
+        ("heuristic", SchedulerChoice::Heuristic),
+        (
+            "ilp",
+            SchedulerChoice::IlpWith(Effort::Quick.most_options()),
+        ),
+    ];
+    struct SuiteRow {
+        name: String,
+        scheduler: &'static str,
+        loops: usize,
+        wall_us: u64,
+        warm_wall_us: u64,
+        compile_ns: u64,
+    }
+    let suites = scaled_suites(Effort::Quick);
+    let mut rows: Vec<SuiteRow> = Vec::new();
+    let mut sched_ns = [0u64; 2];
+    let mut sched_loops = [0usize; 2];
+    for suite in &suites {
+        for (s, (name, choice)) in schedulers.iter().enumerate() {
+            let options = CompileOptions {
+                choice: choice.clone(),
+                verify: VerifyLevel::Off,
+                telemetry: telemetry.clone(),
+            };
+            let pass = || {
+                let start = Instant::now();
+                let ns: Vec<u64> = driver.run_indexed(suite.loops.len(), |i| {
+                    let c = driver
+                        .compile_with(&suite.loops[i].body, machine, &options)
+                        .expect("every suite loop compiles at quick budgets");
+                    c.stats
+                        .sched_ns
+                        .saturating_add(c.stats.alloc_ns)
+                        .saturating_add(c.stats.expand_ns)
+                });
+                let wall = start.elapsed();
+                (wall.as_micros() as u64, ns.iter().sum::<u64>())
+            };
+            let (cold_us, cold_ns) = pass();
+            let (warm_us, _) = pass();
+            sched_ns[s] = sched_ns[s].saturating_add(cold_ns);
+            sched_loops[s] += suite.loops.len();
+            rows.push(SuiteRow {
+                name: suite.name.to_owned(),
+                scheduler: name,
+                loops: suite.loops.len(),
+                wall_us: cold_us,
+                warm_wall_us: warm_us,
+                compile_ns: cold_ns,
+            });
+        }
+    }
+    let cache = driver.cache_stats();
+    let counters = telemetry.counters();
+
+    let mut w = swp_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("swp-bench-snapshot/1");
+    w.key("pr").uint(pr);
+    w.key("threads").uint(threads as u64);
+    w.key("effort").string("quick");
+    w.key("suites").begin_array();
+    for r in &rows {
+        w.begin_object();
+        w.key("name").string(&r.name);
+        w.key("scheduler").string(r.scheduler);
+        w.key("loops").uint(r.loops as u64);
+        w.key("wall_us").uint(r.wall_us);
+        w.key("warm_wall_us").uint(r.warm_wall_us);
+        w.key("compile_ns").uint(r.compile_ns);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("schedulers").begin_array();
+    for (s, (name, _)) in schedulers.iter().enumerate() {
+        w.begin_object();
+        w.key("name").string(name);
+        w.key("loops").uint(sched_loops[s] as u64);
+        w.key("compile_ns").uint(sched_ns[s]);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("cache").begin_object();
+    w.key("hits").uint(cache.hits);
+    w.key("misses").uint(cache.misses);
+    let total = cache.hits + cache.misses;
+    w.key("hit_rate")
+        .float(cache.hits as f64 / total.max(1) as f64);
+    w.end_object();
+    w.key("total_pivots").uint(counters.get(Counter::IlpPivots));
+    w.key("total_nodes").uint(counters.get(Counter::IlpNodes));
+    w.key("counters").begin_object();
+    for (c, v) in counters.iter() {
+        w.key(c.name()).uint(v);
+    }
+    w.end_object();
+    w.end_object();
+    w.finish()
 }
 
 #[cfg(test)]

@@ -245,6 +245,11 @@ pub fn cache_key(lp: &Loop, machine: &Machine, choice: &SchedulerChoice) -> u64 
 /// verify level is part of the key: a verified entry carries its audit
 /// report, so it must not be served to an unverified request (and vice
 /// versa — an `Off` entry has no report to serve).
+///
+/// The telemetry handle is deliberately **excluded**: unlike chaos or
+/// ladder options it cannot change the compiled artifact, so a traced
+/// compile must alias an untraced one (and vice versa) instead of
+/// recompiling — and, worse, double-counting — per observer.
 pub fn cache_key_with(lp: &Loop, machine: &Machine, options: &CompileOptions) -> u64 {
     let mut h = StableHasher::new();
     fold_loop(&mut h, lp);
@@ -376,6 +381,14 @@ impl ScheduleCache {
         machine: &Machine,
         options: &CompileOptions,
     ) -> Result<Arc<CompiledLoop>, CompileError> {
+        // Install the request's telemetry for the whole call so hits,
+        // waits, and the compile itself (on whichever thread wins the
+        // leader race) all land on the requester's collector.
+        let _telemetry = options
+            .telemetry
+            .is_enabled()
+            .then(|| options.telemetry.install());
+        let lookup = swp_obs::span("cache.lookup").with_s("loop", lp.name());
         let key = cache_key_with(lp, machine, options);
         {
             let mut slots = self.slots.lock().expect("cache lock");
@@ -383,9 +396,11 @@ impl ScheduleCache {
                 match slots.get(&key) {
                     Some(Slot::Ready(r)) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        swp_obs::count(swp_obs::Counter::CacheHits, 1);
                         return r.clone();
                     }
                     Some(Slot::Pending) => {
+                        swp_obs::count(swp_obs::Counter::CacheInflightWaits, 1);
                         slots = self.ready.wait(slots).expect("cache lock");
                     }
                     None => {
@@ -395,7 +410,9 @@ impl ScheduleCache {
                 }
             }
         }
+        drop(lookup);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        swp_obs::count(swp_obs::Counter::CacheMisses, 1);
         let mut guard = PendingGuard {
             cache: self,
             key,
@@ -580,6 +597,7 @@ mod tests {
         let full = CompileOptions {
             choice: SchedulerChoice::Heuristic,
             verify: VerifyLevel::Full,
+            ..CompileOptions::default()
         };
         assert_ne!(
             cache_key_with(&lp, &m, &off),
@@ -598,6 +616,66 @@ mod tests {
             .expect("compiles");
         assert!(plain.audit.is_none(), "unverified request compiled fresh");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_is_not_part_of_the_key_and_hit_rates_match_with_tracing() {
+        let m = Machine::r8000();
+        let lp = saxpy("t");
+        let untraced = CompileOptions::from(SchedulerChoice::Heuristic);
+        let traced = CompileOptions {
+            telemetry: swp_obs::Telemetry::with_tracing(),
+            ..CompileOptions::from(SchedulerChoice::Heuristic)
+        };
+        assert_eq!(
+            cache_key_with(&lp, &m, &untraced),
+            cache_key_with(&lp, &m, &traced),
+            "observing a compile must not change its identity"
+        );
+
+        // A traced compile aliases an untraced one and vice versa.
+        let cache = ScheduleCache::new();
+        let a = cache
+            .get_or_compile_with(&lp, &m, &untraced)
+            .expect("compiles");
+        let b = cache
+            .get_or_compile_with(&lp, &m, &traced)
+            .expect("compiles");
+        assert!(Arc::ptr_eq(&a, &b), "traced request served from cache");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+
+        // Hit-rate parity: an identical request sequence produces
+        // identical hit/miss totals with tracing on and off. The loops
+        // must differ *structurally* (the key ignores names).
+        let loops: Vec<Loop> = (0..3)
+            .map(|i| {
+                let mut b = LoopBuilder::new("parity");
+                let x = b.array("x", 8);
+                let v = b.load(x, i, 8);
+                b.store(x, i + 16, 8, v);
+                b.finish()
+            })
+            .collect();
+        let run = |options: &CompileOptions| {
+            let cache = ScheduleCache::new();
+            for _ in 0..2 {
+                for lp in &loops {
+                    cache
+                        .get_or_compile_with(lp, &m, options)
+                        .expect("compiles");
+                }
+            }
+            cache.stats()
+        };
+        let off = run(&untraced);
+        let on = run(&traced);
+        assert_eq!(off, on, "hit rate must not depend on tracing");
+        assert_eq!(off, CacheStats { hits: 3, misses: 3 });
+        // The traced handle observed every cache event of its requests:
+        // one hit up top, then three misses and three hits in the sweep.
+        let snap = traced.telemetry.counters();
+        assert_eq!(snap.get(swp_obs::Counter::CacheHits), 4);
+        assert_eq!(snap.get(swp_obs::Counter::CacheMisses), 3);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use swp_heur::{HeurOptions, PipelineError};
 use swp_ir::{Ddg, Loop};
 use swp_machine::Machine;
 use swp_most::{MostError, MostOptions};
+use swp_obs::Telemetry;
 use swp_verify::{VerifyLevel, VerifyReport};
 
 /// Which pipeliner to use.
@@ -37,6 +38,12 @@ pub struct CompileOptions {
     /// Translation-validation level. [`VerifyLevel::Off`] (the default)
     /// adds zero cost; `Full` also lints the input loop before scheduling.
     pub verify: VerifyLevel,
+    /// Telemetry handle installed for the duration of the compile (and by
+    /// the cache, on whichever thread ends up doing the work). The default
+    /// disabled handle collects nothing. Deliberately **not** part of the
+    /// schedule-cache key: observing a compile must not change its
+    /// identity, so a traced compile aliases an untraced one.
+    pub telemetry: Telemetry,
 }
 
 impl From<SchedulerChoice> for CompileOptions {
@@ -44,6 +51,7 @@ impl From<SchedulerChoice> for CompileOptions {
         CompileOptions {
             choice,
             verify: VerifyLevel::Off,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -188,6 +196,29 @@ pub fn compile_loop_with(
     machine: &Machine,
     options: &CompileOptions,
 ) -> Result<CompiledLoop, CompileError> {
+    // Only an enabled handle takes over; a disabled one must not shadow a
+    // collector the caller installed ambiently (e.g. `solver --gate`).
+    let _telemetry = options
+        .telemetry
+        .is_enabled()
+        .then(|| options.telemetry.install());
+    let _span = swp_obs::span("compile")
+        .with_s("loop", lp.name())
+        .with_i("ops", lp.len() as i64);
+    let result = compile_inner(lp, machine, options);
+    if options.telemetry.is_enabled() {
+        if let Ok(compiled) = &result {
+            observe_quality(compiled);
+        }
+    }
+    result
+}
+
+fn compile_inner(
+    lp: &Loop,
+    machine: &Machine,
+    options: &CompileOptions,
+) -> Result<CompiledLoop, CompileError> {
     // Ladder compiles carry their own per-rung verify gate; its report
     // (lints included) is authoritative and already attached, so a second
     // outer audit would only duplicate findings.
@@ -211,17 +242,39 @@ pub fn compile_loop_with(
     Ok(compiled)
 }
 
+/// Schedule-quality histograms for one successful compile. Gated on an
+/// enabled handle by the caller: `max_live` re-derives pressure from the
+/// schedule, which the disabled path must not pay for.
+fn observe_quality(compiled: &CompiledLoop) {
+    use swp_obs::{observe, Histo};
+    let stats = &compiled.stats;
+    observe(
+        Histo::IiMinusMii,
+        u64::from(stats.ii.saturating_sub(stats.min_ii)),
+    );
+    let pressure = swp_regalloc::max_live(compiled.code.body(), compiled.code.schedule());
+    observe(
+        Histo::MaxLive,
+        u64::from(pressure.into_iter().max().unwrap_or(0)),
+    );
+    let total_ns = stats
+        .sched_ns
+        .saturating_add(stats.alloc_ns)
+        .saturating_add(stats.expand_ns);
+    observe(Histo::CompileTimeUs, total_ns / 1_000);
+}
+
 pub(crate) fn compile_heur(
     lp: &Loop,
     machine: &Machine,
     opts: &HeurOptions,
 ) -> Result<CompiledLoop, CompileError> {
-    let t0 = std::time::Instant::now();
-    let p = swp_heur::pipeline(lp, machine, opts).map_err(CompileError::Heuristic)?;
-    let pipeline_ns = elapsed_ns(t0);
-    let t1 = std::time::Instant::now();
-    let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
-    let expand_ns = elapsed_ns(t1);
+    let (pipelined, pipeline_ns) =
+        swp_obs::timed_ns("sched.heur", || swp_heur::pipeline(lp, machine, opts));
+    let p = pipelined.map_err(CompileError::Heuristic)?;
+    let (code, expand_ns) = swp_obs::timed_ns("expand", || {
+        PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation)
+    });
     Ok(CompiledLoop {
         code,
         stats: CompileStats {
@@ -248,12 +301,15 @@ pub(crate) fn compile_ilp(
     machine: &Machine,
     opts: &MostOptions,
 ) -> Result<CompiledLoop, CompileError> {
-    let t0 = std::time::Instant::now();
-    let p = swp_most::pipeline_most(lp, machine, opts).map_err(CompileError::Ilp)?;
-    let pipeline_ns = elapsed_ns(t0);
-    let t1 = std::time::Instant::now();
-    let code = PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation);
-    let expand_ns = elapsed_ns(t1);
+    let (pipelined, pipeline_ns) =
+        swp_obs::timed_ns("sched.ilp", || swp_most::pipeline_most(lp, machine, opts));
+    let p = pipelined.map_err(CompileError::Ilp)?;
+    if let Some(buffers) = p.stats.buffers {
+        swp_obs::observe(swp_obs::Histo::Buffers, u64::from(buffers));
+    }
+    let (code, expand_ns) = swp_obs::timed_ns("expand", || {
+        PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation)
+    });
     Ok(CompiledLoop {
         code,
         stats: CompileStats {
@@ -273,10 +329,6 @@ pub(crate) fn compile_ilp(
         rung: None,
         attempts: Vec::new(),
     })
-}
-
-fn elapsed_ns(t: std::time::Instant) -> u64 {
-    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Build the non-pipelined baseline (software pipelining "disabled",
@@ -319,6 +371,7 @@ mod tests {
         let opts = CompileOptions {
             choice: SchedulerChoice::Heuristic,
             verify: VerifyLevel::Full,
+            ..CompileOptions::default()
         };
         let c = compile_loop_with(&saxpy(), &m, &opts).expect("compiles");
         let report = c.audit.expect("audit ran");

@@ -385,6 +385,7 @@ pub fn compile_ladder(
     let mut attempts: Vec<RungAttempt> = Vec::new();
     for rung in Rung::ALL {
         let fault = opts.chaos.fault_at(rung);
+        let rung_span = swp_obs::span("ladder.rung").with_s("rung", rung.name());
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             attempt_rung(lp, machine, opts, rung, fault)
         }));
@@ -430,12 +431,15 @@ pub fn compile_ladder(
                 }
             }
         };
-        attempts.push(RungAttempt {
+        drop(rung_span);
+        let attempt = RungAttempt {
             rung,
             outcome,
             injected,
             deadline_hit,
-        });
+        };
+        flush_attempt(&attempt, compiled.is_some());
+        attempts.push(attempt);
         if let Some((compiled, report)) = compiled {
             let mut compiled = *compiled;
             // Any deadline-truncated attempt (even a failed earlier rung)
@@ -449,6 +453,28 @@ pub fn compile_ladder(
         }
     }
     Err(CompileError::LadderExhausted { attempts })
+}
+
+/// Flush one rung attempt's telemetry: what the rung did, whether chaos
+/// was involved, and whether the ladder demoted past it. An attempt that
+/// did not produce accepted code counts as a demotion — including a
+/// rejected final rung, which "demotes" into ladder exhaustion.
+fn flush_attempt(attempt: &RungAttempt, accepted: bool) {
+    use swp_obs::{count, Counter};
+    match &attempt.outcome {
+        RungOutcome::Panicked(_) => count(Counter::LadderPanicsCaught, 1),
+        RungOutcome::GateRejected { .. } => count(Counter::LadderGateRejections, 1),
+        _ => {}
+    }
+    if !accepted {
+        count(Counter::LadderDemotions, 1);
+    }
+    if attempt.injected.is_some() {
+        count(Counter::LadderChaosInjected, 1);
+    }
+    if attempt.escaped() {
+        count(Counter::LadderChaosEscapes, 1);
+    }
 }
 
 /// Run one rung's scheduler (with chaos injection) and hand back either a
@@ -528,8 +554,9 @@ fn compile_sequential(lp: &Loop, machine: &Machine) -> Result<CompiledLoop, Comp
     let base = list_schedule(lp, &ddg, machine);
     let schedule = base.as_schedule();
     let sched_ns = elapsed_ns(t0);
-    let t1 = std::time::Instant::now();
-    let allocation = match allocate(lp, &schedule, machine) {
+    let (outcome, alloc_ns) =
+        swp_obs::timed_ns("regalloc.attempt", || allocate(lp, &schedule, machine));
+    let allocation = match outcome {
         AllocOutcome::Allocated(a) => a,
         AllocOutcome::Failed { .. } => {
             // Unreachable for machine-sized loops (one non-overlapped
@@ -541,10 +568,9 @@ fn compile_sequential(lp: &Loop, machine: &Machine) -> Result<CompiledLoop, Comp
             });
         }
     };
-    let alloc_ns = elapsed_ns(t1);
-    let t2 = std::time::Instant::now();
-    let code = PipelinedLoop::expand(lp, &schedule, &allocation);
-    let expand_ns = elapsed_ns(t2);
+    let (code, expand_ns) = swp_obs::timed_ns("expand", || {
+        PipelinedLoop::expand(lp, &schedule, &allocation)
+    });
     Ok(CompiledLoop {
         stats: CompileStats {
             min_ii: ddg.min_ii(),

@@ -72,12 +72,13 @@ pub use suite::{
     run_suite_baseline_with, run_suite_with, LadderLoopReport, LadderSuccess, LoopAudit,
     SuiteAudit, SuiteLadder, SuiteResult,
 };
+pub use swp_obs::{Counter, CounterSnapshot, Histo, HistogramSnapshot, Telemetry};
 pub use swp_verify::{Finding, Severity, VerifyLevel, VerifyReport};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use {
-    swp_codegen, swp_heur, swp_ilp, swp_ir, swp_kernels, swp_machine, swp_most, swp_regalloc,
-    swp_sim, swp_verify,
+    swp_codegen, swp_heur, swp_ilp, swp_ir, swp_kernels, swp_machine, swp_most, swp_obs,
+    swp_regalloc, swp_sim, swp_verify,
 };
 
 #[cfg(test)]

@@ -294,6 +294,7 @@ pub fn ladder_suite_with(
         // The ladder's own gate audits; the outer verify level is unused
         // on this path (see `compile_loop_with`).
         verify: VerifyLevel::Off,
+        ..CompileOptions::default()
     };
     let loops: Vec<LadderLoopReport> = driver.run_indexed(suite.loops.len(), |i| {
         let wl = &suite.loops[i];
@@ -376,6 +377,7 @@ mod tests {
         let opts = CompileOptions {
             choice: SchedulerChoice::Heuristic,
             verify: swp_verify::VerifyLevel::Full,
+            ..CompileOptions::default()
         };
         let audit = audit_suite_with(&driver, &suite, &m, &opts).expect("compiles");
         assert_eq!(audit.loops.len(), suite.loops.len());

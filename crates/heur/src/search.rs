@@ -185,6 +185,7 @@ pub fn pipeline(
         match found {
             Ok(c) => {
                 stats.pairs_formed = c.stats.pairs_formed;
+                flush_stats(&stats);
                 return Ok(Pipelined {
                     body,
                     schedule: c.schedule,
@@ -206,11 +207,28 @@ pub fn pipeline(
                         spill_round += 1;
                         body = spill_to_memory(&body, &chosen);
                     }
-                    _ => return Err(PipelineError::NoSchedule { min_ii, max_ii }),
+                    _ => {
+                        flush_stats(&stats);
+                        return Err(PipelineError::NoSchedule { min_ii, max_ii });
+                    }
                 }
             }
         }
     }
+}
+
+/// Flush the search's aggregate work counters to telemetry. Called once
+/// per [`pipeline`] exit (success or failure) so the disabled path costs a
+/// handful of thread-local reads per compile, never per placement.
+fn flush_stats(stats: &PipelineStats) {
+    use swp_obs::{count, Counter};
+    count(Counter::HeurAttempts, stats.attempts.into());
+    count(Counter::HeurBacktracks, stats.backtracks.into());
+    count(Counter::HeurPlacements, stats.placements);
+    count(Counter::HeurIisTried, stats.iis_tried.len() as u64);
+    count(Counter::HeurPairsFormed, stats.pairs_formed.into());
+    count(Counter::HeurSpills, stats.spills.into());
+    count(Counter::HeurSpillRounds, stats.spill_rounds.into());
 }
 
 /// Search the II space. `Err(None)` = scheduling failures only;
@@ -230,6 +248,7 @@ fn search_iis(
     let mut alloc_failure: Option<Vec<swp_regalloc::SpillCandidate>> = None;
     let mut try_ii = |ii: u32, stats: &mut PipelineStats| -> Option<Candidate> {
         stats.iis_tried.push(ii);
+        let _span = swp_obs::span("heur.attempt").with_i("ii", i64::from(ii));
         match attempt_at(body, ddg, machine, opts, ii, stats) {
             AttemptOutcome::Success(c) => Some(*c),
             AttemptOutcome::AllocFailed(cands) => {
@@ -364,11 +383,9 @@ fn attempt_at(
             let times = adjust_pipestages(body, ddg, ii, times);
             let schedule = Schedule::new(ii, times);
             debug_assert_eq!(schedule.validate(body, ddg, machine), Ok(()));
-            let alloc_started = std::time::Instant::now();
-            let outcome = allocate(body, &schedule, machine);
-            stats.alloc_ns = stats.alloc_ns.saturating_add(
-                u64::try_from(alloc_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            );
+            let (outcome, alloc_ns) =
+                swp_obs::timed_ns("regalloc.attempt", || allocate(body, &schedule, machine));
+            stats.alloc_ns = stats.alloc_ns.saturating_add(alloc_ns);
             match outcome {
                 AllocOutcome::Allocated(allocation) => {
                     let stall = if banked {

@@ -104,6 +104,10 @@ pub struct IlpResult {
     pub nodes: u64,
     /// Simplex pivots performed across all nodes.
     pub pivots: u64,
+    /// `B⁻¹` refactorizations performed by the shared engine.
+    pub refactorizations: u64,
+    /// Dual-repair bound flips performed by the shared engine.
+    pub bound_flips: u64,
     /// Whether the wall-clock deadline (if any) caused truncation. Results
     /// with this flag set are host-dependent and must not be memoized.
     pub deadline_hit: bool,
@@ -132,9 +136,14 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
     let mut budget = Budget::new(options.pivot_limit, deadline);
     let mut engine = LpEngine::new(model);
     let minimize = model.sense == Sense::Minimize;
+    let _span = swp_obs::span("ilp.solve")
+        .with_i("vars", model.vars.len() as i64)
+        .with_i("rows", engine.rows() as i64);
 
     let mut incumbent: Option<LpSolution> = None;
     let mut nodes: u64 = 0;
+    let mut prunes: u64 = 0;
+    let mut warm_hit = false;
     let mut truncated = false;
 
     struct Frame {
@@ -183,6 +192,7 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
         };
         engine.set_cutoff(Some(cut));
         incumbent = Some(sol);
+        warm_hit = true;
     }
 
     'search: loop {
@@ -198,6 +208,9 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
                 let prune = incumbent
                     .as_ref()
                     .is_some_and(|inc| dominated(sol.objective, inc.objective));
+                if prune {
+                    prunes += 1;
+                }
                 if !prune {
                     match pick_branch(model, &sol, options) {
                         None => {
@@ -254,13 +267,15 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
             LpOutcome::Unbounded => {
                 // An unbounded relaxation of a node: the integer problem is
                 // unbounded or ill-posed; report and stop.
-                return IlpResult {
-                    status: Status::Unknown,
-                    solution: incumbent,
+                return finish(
+                    Status::Unknown,
+                    incumbent,
                     nodes,
-                    pivots: budget.pivots,
-                    deadline_hit: budget.deadline_hit,
-                };
+                    prunes,
+                    warm_hit,
+                    &budget,
+                    &engine,
+                );
             }
             LpOutcome::IterLimit => {
                 truncated = true;
@@ -299,11 +314,36 @@ pub fn solve_ilp(model: &Model, options: &SolveOptions) -> IlpResult {
         (None, false) => Status::Infeasible,
         (None, true) => Status::Unknown,
     };
+    finish(status, incumbent, nodes, prunes, warm_hit, &budget, &engine)
+}
+
+/// Assemble the result and flush the solve's work counters to telemetry.
+/// Every exit path of [`solve_ilp`] funnels through here so the registry
+/// totals and the returned fields can never disagree.
+fn finish(
+    status: Status,
+    solution: Option<LpSolution>,
+    nodes: u64,
+    prunes: u64,
+    warm_hit: bool,
+    budget: &Budget,
+    engine: &LpEngine,
+) -> IlpResult {
+    use swp_obs::{count, Counter};
+    count(Counter::IlpSolves, 1);
+    count(Counter::IlpNodes, nodes);
+    count(Counter::IlpPrunes, prunes);
+    count(Counter::IlpPivots, budget.pivots);
+    count(Counter::IlpRefactorizations, engine.refactorizations());
+    count(Counter::IlpBoundFlips, engine.bound_flips());
+    count(Counter::IlpWarmStartHits, warm_hit as u64);
     IlpResult {
         status,
-        solution: incumbent,
+        solution,
         nodes,
         pivots: budget.pivots,
+        refactorizations: engine.refactorizations(),
+        bound_flips: engine.bound_flips(),
         deadline_hit: budget.deadline_hit,
     }
 }

@@ -183,6 +183,9 @@ pub struct LpEngine {
     fresh: bool,
     /// Objective cutoff (internal minimization sense); see [`Self::set_cutoff`].
     cutoff: Option<f64>,
+    // ---- work counters (lifetime of the engine, read by B&B telemetry) ----
+    refactorizations: u64,
+    bound_flips: u64,
     // ---- scratch ----
     alpha: Vec<f64>,
     rho: Vec<f64>,
@@ -329,6 +332,8 @@ impl LpEngine {
             updates: 0,
             fresh: true,
             cutoff: None,
+            refactorizations: 0,
+            bound_flips: 0,
             alpha: vec![0.0; m],
             rho: vec![0.0; m],
             prow: vec![0.0; m],
@@ -344,6 +349,16 @@ impl LpEngine {
     /// Number of non-singleton rows the engine actually pivots on.
     pub fn rows(&self) -> usize {
         self.m
+    }
+
+    /// Total `B⁻¹` refactorizations over the engine's lifetime.
+    pub fn refactorizations(&self) -> u64 {
+        self.refactorizations
+    }
+
+    /// Total dual-repair bound flips over the engine's lifetime.
+    pub fn bound_flips(&self) -> u64 {
+        self.bound_flips
     }
 
     /// Solve under the given per-variable bounds with no budget.
@@ -509,6 +524,7 @@ impl LpEngine {
                 VStat::Lower if self.dj[j] < -DUAL_EPS => {
                     if self.hi[j].is_finite() {
                         self.stat[j] = VStat::Upper;
+                        self.bound_flips += 1;
                         flipped = true;
                     } else {
                         ok = false;
@@ -517,6 +533,7 @@ impl LpEngine {
                 VStat::Upper if self.dj[j] > DUAL_EPS => {
                     if self.lo[j].is_finite() {
                         self.stat[j] = VStat::Lower;
+                        self.bound_flips += 1;
                         flipped = true;
                     } else {
                         ok = false;
@@ -930,6 +947,7 @@ impl LpEngine {
     /// and refresh `x`. A singular basis resets to the all-slack basis — a
     /// cold but always-valid restart.
     fn refactor(&mut self) {
+        self.refactorizations += 1;
         let m = self.m;
         self.fmat.iter_mut().for_each(|v| *v = 0.0);
         for (i, &b) in self.basis.iter().enumerate() {

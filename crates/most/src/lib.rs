@@ -252,15 +252,15 @@ pub fn pipeline_most(
             break;
         }
         stats.iis_tried.push(ii);
-        if let Some((schedule, buffers, complete)) =
-            solve_at_ii(lp, &ddg, machine, ii, opts, &orders, &mut stats)
-        {
+        swp_obs::count(swp_obs::Counter::MostIiSteps, 1);
+        let step_span = swp_obs::span("most.ii_step").with_i("ii", i64::from(ii));
+        let solved = solve_at_ii(lp, &ddg, machine, ii, opts, &orders, &mut stats);
+        drop(step_span);
+        if let Some((schedule, buffers, complete)) = solved {
             debug_assert_eq!(schedule.validate(lp, &ddg, machine), Ok(()));
-            let alloc_started = Instant::now();
-            let outcome = allocate(lp, &schedule, machine);
-            stats.alloc_ns = stats.alloc_ns.saturating_add(
-                u64::try_from(alloc_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            );
+            let (outcome, alloc_ns) =
+                swp_obs::timed_ns("regalloc.attempt", || allocate(lp, &schedule, machine));
+            stats.alloc_ns = stats.alloc_ns.saturating_add(alloc_ns);
             match outcome {
                 AllocOutcome::Allocated(allocation) => {
                     stats.optimal_ii = ii == min_ii && complete;
@@ -308,6 +308,7 @@ fn fallback_or_fail(
 ) -> Result<MostPipelined, MostError> {
     if opts.fallback {
         if let Ok(h) = swp_heur::pipeline(lp, machine, &HeurOptions::default()) {
+            swp_obs::count(swp_obs::Counter::MostFallbacks, 1);
             let stats = MostStats {
                 fell_back: true,
                 deadline_hit,

@@ -1,0 +1,383 @@
+//! Minimal JSON support: an append-style writer and a strict validator.
+//!
+//! The build environment has no registry access, so there is no serde; the
+//! trace exporter and the bench snapshot hand-write JSON through [`Writer`],
+//! and CI checks the result with [`parse`] before trusting it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string into a JSON string literal (without quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A tiny streaming JSON writer. The caller drives structure; the writer
+/// handles commas, quoting, and escaping.
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.before_value();
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+        // The value that follows must not emit its own comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+        self
+    }
+
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.before_value();
+        self.out.push('"');
+        escape_into(&mut self.out, s);
+        self.out.push('"');
+        self
+    }
+
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    pub fn int(&mut self, v: i64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Finite float; non-finite values are not representable in JSON and
+    /// are written as null.
+    pub fn float(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn finish(self) -> String {
+        debug_assert!(self.need_comma.is_empty(), "unbalanced JSON writer");
+        self.out
+    }
+}
+
+/// Parsed JSON value, for validation and schema checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `obj["key"]` lookup that flows through `Option`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Parse a complete JSON document; trailing garbage is an error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar. The input came from &str, so
+                // the byte stream is valid UTF-8.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.key("name").string("he said \"hi\"\n");
+        w.key("n").uint(42);
+        w.key("neg").int(-7);
+        w.key("pi").float(3.5);
+        w.key("ok").bool(true);
+        w.key("items").begin_array();
+        w.uint(1);
+        w.uint(2);
+        w.begin_object();
+        w.key("empty").begin_array();
+        w.end_array();
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("he said \"hi\"\n"));
+        assert_eq!(v.get("n").unwrap().as_number(), Some(42.0));
+        assert_eq!(v.get("neg").unwrap().as_number(), Some(-7.0));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["{", "[1,", "{\"a\":}", "nul", "\"abc", "{} x", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_escapes_and_unicode() {
+        let v = parse(r#"{"s":"aA\t\\","arr":[null,false,-1.5e2]}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("aA\t\\"));
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap().len(), 3);
+    }
+}

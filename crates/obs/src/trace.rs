@@ -1,0 +1,184 @@
+//! Hierarchical spans and Chrome `trace_event` export.
+//!
+//! Spans are RAII guards: creating one under an installed tracing collector
+//! records a start time; dropping it appends a complete (`ph:"X"`) event.
+//! With no collector installed — or a counters-only one — `span()` returns
+//! an inert guard and the whole path is a thread-local read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::json::Writer;
+use crate::Collector;
+
+/// Value of one span argument.
+#[derive(Debug, Clone)]
+pub(crate) enum ArgValue {
+    Int(i64),
+    Str(String),
+}
+
+/// A completed span, ready for export.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanEvent {
+    pub name: &'static str,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub tid: u64,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Process-stable thread ids for trace rows: assigned densely in first-use
+/// order, independent of the OS thread id.
+fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// RAII span guard returned by [`crate::span`].
+#[must_use = "a span measures until dropped; binding it to _ drops immediately"]
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    collector: Arc<Collector>,
+    name: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Self {
+        Span { inner: None }
+    }
+
+    pub(crate) fn active(collector: Arc<Collector>, name: &'static str) -> Self {
+        Span {
+            inner: Some(SpanInner {
+                collector,
+                name,
+                start: Instant::now(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach an integer argument (no-op when the span is inert).
+    pub fn with_i(mut self, key: &'static str, value: i64) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, ArgValue::Int(value)));
+        }
+        self
+    }
+
+    /// Attach a string argument (no allocation when the span is inert).
+    pub fn with_s(mut self, key: &'static str, value: &str) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, ArgValue::Str(value.to_string())));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = inner.start.elapsed().as_micros() as u64;
+        let ts_us = inner
+            .start
+            .duration_since(inner.collector.epoch)
+            .as_micros() as u64;
+        let event = SpanEvent {
+            name: inner.name,
+            ts_us,
+            dur_us,
+            tid: current_tid(),
+            args: inner.args,
+        };
+        inner.collector.spans.lock().unwrap().push(event);
+    }
+}
+
+/// Category: the subsystem prefix of the span name (`heur.attempt` → `heur`).
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Render completed spans as a Chrome `trace_event` document
+/// (`chrome://tracing` / Perfetto "JSON Object Format").
+pub(crate) fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut w = Writer::new();
+    w.begin_object();
+    w.key("displayTimeUnit").string("ms");
+    w.key("traceEvents").begin_array();
+    for e in events {
+        w.begin_object();
+        w.key("name").string(e.name);
+        w.key("cat").string(category(e.name));
+        w.key("ph").string("X");
+        w.key("ts").uint(e.ts_us);
+        w.key("dur").uint(e.dur_us);
+        w.key("pid").uint(1);
+        w.key("tid").uint(e.tid);
+        w.key("args").begin_object();
+        for (k, v) in &e.args {
+            w.key(k);
+            match v {
+                ArgValue::Int(i) => w.int(*i),
+                ArgValue::Str(s) => w.string(s),
+            };
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Schema check for an exported trace: the shape `chrome://tracing` needs.
+///
+/// Returns the number of trace events, or a description of the first
+/// violation. Used by the CI `profile` job.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = crate::json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    for (i, e) in events.iter().enumerate() {
+        let obj = e.as_object().ok_or(format!("event {i} is not an object"))?;
+        for key in ["name", "cat", "ph"] {
+            if obj.get(key).and_then(|v| v.as_str()).is_none() {
+                return Err(format!("event {i}: missing string field '{key}'"));
+            }
+        }
+        if obj.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            return Err(format!("event {i}: ph is not \"X\""));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            match obj.get(key).and_then(|v| v.as_number()) {
+                Some(n) if n >= 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "event {i}: missing non-negative number field '{key}'"
+                    ))
+                }
+            }
+        }
+        if obj.get("args").map(|v| v.as_object().is_none()) == Some(true) {
+            return Err(format!("event {i}: args is not an object"));
+        }
+    }
+    Ok(events.len())
+}

@@ -85,6 +85,7 @@ pub fn audit(code: &PipelinedLoop, machine: &Machine, level: VerifyLevel) -> Ver
     if level == VerifyLevel::Off {
         return VerifyReport { level, findings };
     }
+    let _span = swp_obs::span("verify.audit").with_s("loop", code.body().name());
     findings.extend(audit_schedule(code.body(), code.schedule(), machine));
     if level == VerifyLevel::Full {
         findings.extend(audit_registers(
@@ -96,6 +97,8 @@ pub fn audit(code: &PipelinedLoop, machine: &Machine, level: VerifyLevel) -> Ver
         findings.extend(audit_expansion(code));
         findings.extend(audit_banks(code, machine));
     }
+    swp_obs::count(swp_obs::Counter::VerifyAudits, 1);
+    swp_obs::count(swp_obs::Counter::VerifyFindings, findings.len() as u64);
     VerifyReport { level, findings }
 }
 

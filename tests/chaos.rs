@@ -165,6 +165,7 @@ fn driver_pool_survives_in_flight_panics() {
             ..quick_ladder()
         })),
         verify: VerifyLevel::Off,
+        ..CompileOptions::default()
     };
     for threads in [1, 2, 8] {
         let driver = Driver::new(threads);
@@ -189,6 +190,7 @@ fn driver_pool_survives_in_flight_panics() {
         let quiet = CompileOptions {
             choice: SchedulerChoice::LadderWith(Box::new(quick_ladder())),
             verify: VerifyLevel::Off,
+            ..CompileOptions::default()
         };
         let c = driver
             .compile_with(&loops[0], &m, &quiet)
@@ -239,6 +241,7 @@ fn cache_recovers_after_a_panicking_leader() {
             ..quick_ladder()
         })),
         verify: VerifyLevel::Off,
+        ..CompileOptions::default()
     };
     // Many concurrent requests for the SAME key: each round's leader
     // panics, waiters must be woken and promoted until all have failed
@@ -252,6 +255,7 @@ fn cache_recovers_after_a_panicking_leader() {
     let quiet = CompileOptions {
         choice: SchedulerChoice::LadderWith(Box::new(quick_ladder())),
         verify: VerifyLevel::Off,
+        ..CompileOptions::default()
     };
     let c = driver
         .compile_with(&lp, &m, &quiet)
