@@ -8,7 +8,16 @@
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
 //! ii-compare solver ablation-order ablation-iisearch ablation-spill
-//! speedup all audit chaos profile bench`.
+//! speedup all audit chaos profile bench opt`.
+//!
+//! `opt` (not part of `all`) runs every suite loop (plus the Livermore
+//! kernels) through the mid-end pass pipeline, translation-validating
+//! every application, and prints the impact table: op counts, RecMII
+//! drops, achieved II, and ILP pivot work with the pipeline off vs on.
+//! With `-D` a violated `opt_gate` floor (any validation finding, pivots
+//! not beating the committed baseline, a missing Livermore RecMII win)
+//! exits nonzero, which is how CI enforces that the mid-end keeps paying
+//! for itself.
 //!
 //! `audit` (not part of `all`) compiles every suite loop under both
 //! schedulers at full verification and prints a findings table; with `-D`
@@ -49,8 +58,8 @@ use showdown::Driver;
 use swp_bench::{
     ablation_ii_search, ablation_order, ablation_spill, audit_with, chaos_rung_usage,
     chaos_scenarios, chaos_with, compile_speed, driver_speedup, fig2_geomean, fig2_with, fig3_with,
-    fig4_with, fig5_with, fig6_fig7_with, ii_compare_with, loop_size, perf_snapshot,
-    profile_workload, solver_gate, solver_speed, Effort,
+    fig4_with, fig5_with, fig6_fig7_with, ii_compare_with, loop_size, opt_gate, opt_with,
+    perf_snapshot, profile_workload, solver_gate, solver_speed, Effort,
 };
 use swp_heur::PriorityHeuristic;
 use swp_machine::Machine;
@@ -334,6 +343,71 @@ fn main() {
             Err(e) => {
                 println!("gate: FAIL — {e}");
                 if gate {
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    if cmd == "opt" {
+        let deny = args.iter().any(|a| a == "-D" || a == "--deny");
+        println!("== Opt: mid-end pass-pipeline impact, every suite + Livermore ==");
+        println!("(quick deterministic budgets — every number reproduces exactly)");
+        println!(
+            "{:<12} {:>5} {:>7} {:>7} {:>5} {:>7} {:>7} {:>7} {:>6} {:>5} {:>10} {:>10}",
+            "suite",
+            "loops",
+            "ops",
+            "ops'",
+            "-ops",
+            "apps",
+            "recmii↓",
+            "II off",
+            "II'",
+            "find",
+            "piv off",
+            "piv full"
+        );
+        let impact = opt_with(&driver, &m, effort);
+        for r in &impact.rows {
+            println!(
+                "{:<12} {:>5} {:>7} {:>7} {:>5} {:>7} {:>7} {:>7} {:>6} {:>5} {:>10} {:>10}",
+                r.suite,
+                r.loops,
+                r.ops_before,
+                r.ops_after,
+                r.ops_removed(),
+                r.applications,
+                r.recmii_drops,
+                r.ii_off,
+                r.ii_full,
+                r.findings,
+                r.pivots_off,
+                r.pivots_full
+            );
+        }
+        println!(
+            "figure suites: {} ops removed; pivots {} -> {} (baseline {}); findings {}",
+            impact.figure_ops_removed(),
+            impact.figure_pivots_off(),
+            impact.figure_pivots_full(),
+            opt_gate::BASELINE_TOTAL_PIVOTS,
+            impact.total_findings()
+        );
+        println!(
+            "gate floors: findings == 0, audit errors == 0, full pivots < off and < {} \
+             (ceiling {}), ops removed >= {}, livermore recmii drops >= {}, II improved >= {}",
+            opt_gate::BASELINE_TOTAL_PIVOTS,
+            opt_gate::MAX_FIGURE_PIVOTS_FULL,
+            opt_gate::MIN_FIGURE_OPS_REMOVED,
+            opt_gate::MIN_LIVERMORE_RECMII_DROPS,
+            opt_gate::MIN_LIVERMORE_II_IMPROVED
+        );
+        match impact.gate() {
+            Ok(()) => println!("gate: ok"),
+            Err(e) => {
+                println!("gate: FAIL — {e}");
+                if deny {
                     std::process::exit(1);
                 }
             }

@@ -8,11 +8,11 @@
 use showdown::{
     audit_suite_with, compare_with, geometric_mean, ladder_suite_with, run_suite_baseline_with,
     run_suite_with, ChaosFault, ChaosOptions, CompileError, CompileOptions, Corruption, Driver,
-    LadderOptions, Rung, SchedulerChoice, Severity, SuiteAudit, SuiteLadder, VerifyLevel,
+    LadderOptions, OptLevel, Rung, SchedulerChoice, Severity, SuiteAudit, SuiteLadder, VerifyLevel,
 };
 use std::time::{Duration, Instant};
 use swp_heur::{HeurOptions, PriorityHeuristic};
-use swp_kernels::{livermore, spec_suites, GenParams, Suite};
+use swp_kernels::{livermore, spec_suites, GenParams, Suite, WeightedLoop};
 use swp_machine::Machine;
 use swp_most::MostOptions;
 use swp_obs::{Counter, Telemetry};
@@ -987,6 +987,294 @@ pub fn solver_speed(machine: &Machine) -> SolverSpeed {
     SolverSpeed { rows }
 }
 
+/// One suite row of the `experiments opt` impact table: what the mid-end
+/// pass pipeline does to the suite's loops (op counts, RecMII, achieved
+/// II) and what that costs or saves the ILP scheduler (simplex pivots).
+#[derive(Debug, Clone)]
+pub struct OptRow {
+    /// Suite name (`"livermore"` for the kernel pseudo-suite).
+    pub suite: String,
+    /// Whether this suite is part of the figure set whose pivot totals
+    /// are compared against the committed `BENCH_pr5.json` baseline
+    /// (Livermore is tracked in the table but not in that baseline).
+    pub figure: bool,
+    /// Loops in the suite.
+    pub loops: usize,
+    /// Total ops before the pipeline.
+    pub ops_before: usize,
+    /// Total ops after the pipeline.
+    pub ops_after: usize,
+    /// Total validated pass applications.
+    pub applications: u32,
+    /// Loops whose RecMII dropped (recurrence re-association).
+    pub recmii_drops: usize,
+    /// Summed achieved II at [`showdown::OptLevel::Off`].
+    pub ii_off: u64,
+    /// Summed achieved II at [`showdown::OptLevel::Full`].
+    pub ii_full: u64,
+    /// Loops whose achieved II improved at `Full`.
+    pub ii_improved: usize,
+    /// `SWP-P0xx` validation findings (reverted or suspect applications).
+    pub findings: usize,
+    /// Error-severity audit findings on the optimized compiles.
+    pub audit_errors: usize,
+    /// Summed ILP simplex pivots at `Off`.
+    pub pivots_off: u64,
+    /// Summed ILP simplex pivots at `Full`.
+    pub pivots_full: u64,
+}
+
+impl OptRow {
+    /// Ops the pipeline deleted across the suite.
+    pub fn ops_removed(&self) -> usize {
+        self.ops_before.saturating_sub(self.ops_after)
+    }
+}
+
+/// The full `experiments opt` sweep result.
+#[derive(Debug, Clone)]
+pub struct OptImpact {
+    /// Per-suite rows, figure suites first, then Livermore.
+    pub rows: Vec<OptRow>,
+}
+
+/// Committed floors for the CI opt-impact gate (see [`OptImpact::gate`]).
+/// Like [`solver_gate`], ceilings are deliberately loose (~2× measured)
+/// and floors conservative (~half measured), so the gate trips on real
+/// regressions, not on noise from a legitimate pass change; update them
+/// alongside any intentional pipeline change.
+pub mod opt_gate {
+    /// `total_pivots` committed in `BENCH_pr5.json`: the figure suites
+    /// under the quick deterministic ILP budgets *without* the mid-end.
+    /// The optimized sweep must beat it.
+    pub const BASELINE_TOTAL_PIVOTS: u64 = 3_099_181;
+    /// Ceiling on figure-suite pivots with the pipeline on
+    /// (measured: 3,018,128 — doduc's GVN load merge is the big win;
+    /// the fusion profitability guard keeps swm256 off the regression
+    /// list). Deliberately below [`BASELINE_TOTAL_PIVOTS`] with ~1%
+    /// headroom for benign model drift.
+    pub const MAX_FIGURE_PIVOTS_FULL: u64 = 3_050_000;
+    /// Floor on total ops removed across the figure suites
+    /// (measured: 4 — the II-profitability guard deliberately leaves
+    /// neutral rewrites alone, so this is small by design).
+    pub const MIN_FIGURE_OPS_REMOVED: usize = 2;
+    /// At least this many Livermore kernels must see RecMII drop via
+    /// recurrence re-association (measured: 5).
+    pub const MIN_LIVERMORE_RECMII_DROPS: usize = 3;
+    /// At least this many Livermore kernels must see their *achieved* II
+    /// improve at `Full` (measured: 6; aggregate II 201 → 185).
+    pub const MIN_LIVERMORE_II_IMPROVED: usize = 3;
+}
+
+impl OptImpact {
+    /// Rows belonging to the figure set (everything but Livermore).
+    fn figure_rows(&self) -> impl Iterator<Item = &OptRow> {
+        self.rows.iter().filter(|r| r.figure)
+    }
+
+    /// The Livermore pseudo-suite row.
+    fn livermore(&self) -> Option<&OptRow> {
+        self.rows.iter().find(|r| !r.figure)
+    }
+
+    /// Figure-suite pivots at `Off` — comparable to `BENCH_pr5.json`.
+    pub fn figure_pivots_off(&self) -> u64 {
+        self.figure_rows().map(|r| r.pivots_off).sum()
+    }
+
+    /// Figure-suite pivots at `Full`.
+    pub fn figure_pivots_full(&self) -> u64 {
+        self.figure_rows().map(|r| r.pivots_full).sum()
+    }
+
+    /// Ops removed across the figure suites.
+    pub fn figure_ops_removed(&self) -> usize {
+        self.figure_rows().map(OptRow::ops_removed).sum()
+    }
+
+    /// `SWP-P0xx` validation findings across every suite.
+    pub fn total_findings(&self) -> usize {
+        self.rows.iter().map(|r| r.findings).sum()
+    }
+
+    /// Error-severity audit findings across every suite.
+    pub fn total_audit_errors(&self) -> usize {
+        self.rows.iter().map(|r| r.audit_errors).sum()
+    }
+
+    /// Check the committed [`opt_gate`] floors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated floor.
+    pub fn gate(&self) -> Result<(), String> {
+        if self.total_findings() > 0 {
+            return Err(format!(
+                "{} SWP-P validation findings (floor: 0)",
+                self.total_findings()
+            ));
+        }
+        if self.total_audit_errors() > 0 {
+            return Err(format!(
+                "{} error-severity audit findings on optimized compiles (floor: 0)",
+                self.total_audit_errors()
+            ));
+        }
+        let full = self.figure_pivots_full();
+        let off = self.figure_pivots_off();
+        if full >= off {
+            return Err(format!(
+                "figure-suite pivots did not decrease: {full} at Full vs {off} at Off"
+            ));
+        }
+        if full >= opt_gate::BASELINE_TOTAL_PIVOTS {
+            return Err(format!(
+                "figure-suite pivots {full} at Full not below the BENCH_pr5.json baseline {}",
+                opt_gate::BASELINE_TOTAL_PIVOTS
+            ));
+        }
+        if full > opt_gate::MAX_FIGURE_PIVOTS_FULL {
+            return Err(format!(
+                "figure-suite pivots {full} exceed ceiling {}",
+                opt_gate::MAX_FIGURE_PIVOTS_FULL
+            ));
+        }
+        if self.figure_ops_removed() < opt_gate::MIN_FIGURE_OPS_REMOVED {
+            return Err(format!(
+                "only {} ops removed across figure suites (floor {})",
+                self.figure_ops_removed(),
+                opt_gate::MIN_FIGURE_OPS_REMOVED
+            ));
+        }
+        let lk = self
+            .livermore()
+            .ok_or_else(|| "no livermore row in the sweep".to_owned())?;
+        if lk.recmii_drops < opt_gate::MIN_LIVERMORE_RECMII_DROPS {
+            return Err(format!(
+                "only {} Livermore kernels saw RecMII drop (floor {})",
+                lk.recmii_drops,
+                opt_gate::MIN_LIVERMORE_RECMII_DROPS
+            ));
+        }
+        if lk.ii_improved < opt_gate::MIN_LIVERMORE_II_IMPROVED {
+            return Err(format!(
+                "only {} Livermore kernels improved achieved II (floor {})",
+                lk.ii_improved,
+                opt_gate::MIN_LIVERMORE_II_IMPROVED
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The `experiments opt` sweep: every figure suite plus the Livermore
+/// kernels, each loop (a) run through the full pass pipeline directly —
+/// translation-validated by differential simulation — for the table's
+/// op-count/RecMII columns, and (b) compiled with the ILP scheduler at
+/// [`showdown::OptLevel::Off`] and `Full` for the achieved-II and
+/// simplex-pivot columns. Quick-effort budgets are deterministic, so
+/// every number here reproduces exactly — which is what lets CI gate on
+/// the committed [`opt_gate`] floors.
+pub fn opt_with(driver: &Driver, machine: &Machine, effort: Effort) -> OptImpact {
+    let mut suites = scaled_suites(effort);
+    suites.push(Suite {
+        name: "livermore",
+        loops: livermore()
+            .into_iter()
+            .map(|k| WeightedLoop {
+                name: format!("lk{}", k.number),
+                body: k.body,
+                weight: 1.0,
+                trip: k.short_trip,
+            })
+            .collect(),
+    });
+    let jobs: Vec<(usize, usize)> = suites
+        .iter()
+        .enumerate()
+        .flat_map(|(s, suite)| (0..suite.loops.len()).map(move |l| (s, l)))
+        .collect();
+    struct LoopImpact {
+        suite: usize,
+        ops_before: usize,
+        ops_after: usize,
+        applications: u32,
+        recmii_drop: bool,
+        ii_off: u32,
+        ii_full: u32,
+        findings: usize,
+        audit_errors: usize,
+        pivots_off: u64,
+        pivots_full: u64,
+    }
+    let per_loop: Vec<LoopImpact> = driver.run_indexed(jobs.len(), |j| {
+        let (s, l) = jobs[j];
+        let body = &suites[s].loops[l].body;
+        // (a) Direct pipeline run, sim-validated at zero tolerance.
+        let validate =
+            |a: &swp_ir::Loop, b: &swp_ir::Loop| swp_sim::check_loops_equivalent(a, b, 12, 0.0);
+        let mut optimized = body.clone();
+        let outcome = showdown::PassManager::new(OptLevel::Full)
+            .with_validator(&validate)
+            .run(&mut optimized, machine);
+        // (b) Scheduler impact through the shared driver cache.
+        let inner = driver.sequential_view();
+        let choice = SchedulerChoice::IlpWith(effort.most_options());
+        let off = inner
+            .compile_with(body, machine, &CompileOptions::from(choice.clone()))
+            .expect("every suite loop compiles at quick budgets");
+        let full_opts = CompileOptions {
+            choice,
+            verify: VerifyLevel::Full,
+            opt: OptLevel::Full,
+            ..CompileOptions::default()
+        };
+        let full = inner
+            .compile_with(body, machine, &full_opts)
+            .expect("every optimized suite loop compiles at quick budgets");
+        LoopImpact {
+            suite: s,
+            ops_before: outcome.ops_before,
+            ops_after: outcome.ops_after,
+            applications: outcome.total_applications(),
+            recmii_drop: outcome.rec_mii_after < outcome.rec_mii_before,
+            ii_off: off.stats.ii,
+            ii_full: full.stats.ii,
+            findings: outcome.findings.len(),
+            audit_errors: full
+                .audit
+                .as_ref()
+                .map_or(0, |r| r.count(showdown::Severity::Error)),
+            pivots_off: off.stats.pivots,
+            pivots_full: full.stats.pivots,
+        }
+    });
+    let rows = suites
+        .iter()
+        .enumerate()
+        .map(|(s, suite)| {
+            let loops: Vec<&LoopImpact> = per_loop.iter().filter(|li| li.suite == s).collect();
+            OptRow {
+                suite: suite.name.to_owned(),
+                figure: suite.name != "livermore",
+                loops: loops.len(),
+                ops_before: loops.iter().map(|li| li.ops_before).sum(),
+                ops_after: loops.iter().map(|li| li.ops_after).sum(),
+                applications: loops.iter().map(|li| li.applications).sum(),
+                recmii_drops: loops.iter().filter(|li| li.recmii_drop).count(),
+                ii_off: loops.iter().map(|li| u64::from(li.ii_off)).sum(),
+                ii_full: loops.iter().map(|li| u64::from(li.ii_full)).sum(),
+                ii_improved: loops.iter().filter(|li| li.ii_full < li.ii_off).count(),
+                findings: loops.iter().map(|li| li.findings).sum(),
+                audit_errors: loops.iter().map(|li| li.audit_errors).sum(),
+                pivots_off: loops.iter().map(|li| li.pivots_off).sum(),
+                pivots_full: loops.iter().map(|li| li.pivots_full).sum(),
+            }
+        })
+        .collect();
+    OptImpact { rows }
+}
+
 /// Ablation (§3.3 adj. 3): MOST with and without priority-order branching.
 #[derive(Debug, Clone, Copy)]
 pub struct OrderAblation {
@@ -1162,11 +1450,13 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
     let heur = CompileOptions {
         choice: SchedulerChoice::Heuristic,
         verify: VerifyLevel::Full,
+        opt: OptLevel::Off,
         telemetry: telemetry.clone(),
     };
     let ilp = CompileOptions {
         choice: SchedulerChoice::IlpWith(Effort::Quick.most_options()),
         verify: VerifyLevel::Off,
+        opt: OptLevel::Off,
         telemetry: telemetry.clone(),
     };
     let kernels = livermore();
@@ -1202,6 +1492,7 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
             ..LadderOptions::default()
         })),
         verify: VerifyLevel::Off,
+        opt: OptLevel::Off,
         telemetry: telemetry.clone(),
     };
     let scenarios = [
@@ -1256,11 +1547,60 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
     let _ = swp_most::pipeline_most(&kernels[0].body, machine, &quick_most(1));
     loops += 1;
 
+    // The mid-end pass pipeline: purpose-built loops that make every
+    // `opt.*` Exact counter fire (one loop exercising fold, simplify,
+    // strength, GVN, and DCE; one pure reduction for re-association).
+    let opt_full = CompileOptions {
+        choice: SchedulerChoice::Heuristic,
+        verify: VerifyLevel::Full,
+        opt: OptLevel::Full,
+        telemetry: telemetry.clone(),
+    };
+    for lp in opt_workload_loops() {
+        let _ = driver.compile_with(&lp, machine, &opt_full);
+        loops += 1;
+    }
+
     ProfileReport {
         telemetry,
         loops,
         cache: driver.cache_stats(),
     }
+}
+
+/// Loops that jointly exercise every mid-end pass: constant folding
+/// (`2·3`), algebraic simplification (`v·1` and an unfused multiply-add),
+/// strength reduction (`÷4`), GVN (a duplicated add), DCE (an unused
+/// chain), and recurrence re-association (a pure multiply-add reduction).
+fn opt_workload_loops() -> Vec<swp_ir::Loop> {
+    let mut mix = swp_ir::LoopBuilder::new("opt-mix");
+    let k2 = mix.const_f("k2", 2.0);
+    let k3 = mix.const_f("k3", 3.0);
+    let one = mix.const_f("one", 1.0);
+    let four = mix.const_f("four", 4.0);
+    let x = mix.array("x", 8);
+    let v = mix.load(x, 0, 8);
+    let c = mix.fmul(k2, k3); // fold
+    let m1 = mix.fmul(v, one); // simplify: ·1
+    let q = mix.fdiv(m1, four); // strength: ÷2^k
+    let d1 = mix.fadd(v, v); // gvn: congruent with d2
+    let d2 = mix.fadd(v, v);
+    let dead = mix.fmul(d2, d2); // dce: transitively dead chain
+    let _dead2 = mix.fadd(dead, dead);
+    let r = mix.fmul(c, q); // simplify: fuses into the fadd below
+    let r2 = mix.fadd(r, d1);
+    mix.store(x, 0, 8, r2);
+
+    let mut red = swp_ir::LoopBuilder::new("opt-reduction");
+    let z = red.array("z", 8);
+    let w = red.array("w", 8);
+    let s = red.carried_f("s");
+    let zv = red.load(z, 0, 8);
+    let wv = red.load(w, 0, 8);
+    let acc = red.fmadd(zv, wv, s.value());
+    red.close(s, acc, 1);
+
+    vec![mix.finish(), red.finish()]
 }
 
 /// Build the machine-readable bench snapshot behind `experiments bench
@@ -1299,6 +1639,7 @@ pub fn perf_snapshot(machine: &Machine, threads: usize, pr: u64) -> String {
             let options = CompileOptions {
                 choice: choice.clone(),
                 verify: VerifyLevel::Off,
+                opt: OptLevel::Off,
                 telemetry: telemetry.clone(),
             };
             let pass = || {

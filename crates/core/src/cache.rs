@@ -43,7 +43,7 @@ use crate::compile::{
 };
 use crate::ladder::{ChaosFault, ChaosOptions, Corruption, LadderOptions};
 use swp_heur::HeurOptions;
-use swp_ir::Loop;
+use swp_ir::{Loop, OptLevel};
 use swp_machine::{Machine, RegClass};
 use swp_most::MostOptions;
 use swp_verify::VerifyLevel;
@@ -132,6 +132,9 @@ fn fold_loop(h: &mut StableHasher, lp: &Loop) {
     for v in lp.values() {
         h.u64(v.class as u64);
         h.opt_u64(v.def.map(|d| u64::from(d.0)));
+        // Literal bits feed constant folding and strength reduction, so
+        // two loops differing only in a constant must not share a key.
+        h.opt_u64(v.literal);
     }
     h.u64(lp.arrays().len() as u64);
     for a in lp.arrays() {
@@ -236,6 +239,15 @@ fn fold_verify(h: &mut StableHasher, level: VerifyLevel) {
     });
 }
 
+fn fold_opt(h: &mut StableHasher, level: OptLevel) {
+    h.byte(b'O');
+    h.byte(match level {
+        OptLevel::Off => 0,
+        OptLevel::Basic => 1,
+        OptLevel::Full => 2,
+    });
+}
+
 /// Compute the cache key for one compile request (verification off).
 pub fn cache_key(lp: &Loop, machine: &Machine, choice: &SchedulerChoice) -> u64 {
     cache_key_with(lp, machine, &CompileOptions::from(choice.clone()))
@@ -256,6 +268,7 @@ pub fn cache_key_with(lp: &Loop, machine: &Machine, options: &CompileOptions) ->
     fold_machine(&mut h, machine);
     fold_choice(&mut h, &options.choice);
     fold_verify(&mut h, options.verify);
+    fold_opt(&mut h, options.opt);
     h.finish()
 }
 
@@ -616,6 +629,59 @@ mod tests {
             .expect("compiles");
         assert!(plain.audit.is_none(), "unverified request compiled fresh");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn opt_level_is_part_of_the_key_and_optimized_entries_do_not_alias() {
+        let m = Machine::r8000();
+        let lp = saxpy("s");
+        let off = CompileOptions::from(SchedulerChoice::Heuristic);
+        let full = CompileOptions {
+            choice: SchedulerChoice::Heuristic,
+            opt: OptLevel::Full,
+            ..CompileOptions::default()
+        };
+        let basic = CompileOptions {
+            choice: SchedulerChoice::Heuristic,
+            opt: OptLevel::Basic,
+            ..CompileOptions::default()
+        };
+        let keys = [
+            cache_key_with(&lp, &m, &off),
+            cache_key_with(&lp, &m, &basic),
+            cache_key_with(&lp, &m, &full),
+        ];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+        let cache = ScheduleCache::new();
+        let opt = cache.get_or_compile_with(&lp, &m, &full).expect("compiles");
+        assert!(!opt.stats.opt_passes.is_empty(), "pipeline ran");
+        let plain = cache.get_or_compile_with(&lp, &m, &off).expect("compiles");
+        assert!(
+            plain.stats.opt_passes.is_empty(),
+            "off entry compiled fresh"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn literal_bits_are_part_of_the_key() {
+        let m = Machine::r8000();
+        let mk = |c: f64| {
+            let mut b = LoopBuilder::new("lit");
+            let k = b.const_f("k", c);
+            let x = b.array("x", 8);
+            let v = b.load(x, 0, 8);
+            let r = b.fmul(k, v);
+            b.store(x, 0, 8, r);
+            b.finish()
+        };
+        assert_ne!(
+            cache_key(&mk(2.0), &m, &SchedulerChoice::Heuristic),
+            cache_key(&mk(4.0), &m, &SchedulerChoice::Heuristic),
+            "loops differing only in a constant must not share a key"
+        );
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Unified compilation entry points for both pipeliners.
 
 use crate::ladder::{compile_ladder, LadderOptions, Rung, RungAttempt};
+use std::time::Instant;
 use swp_codegen::{list_schedule, BaselineLoop, PipelinedLoop};
 use swp_heur::{HeurOptions, PipelineError};
-use swp_ir::{Ddg, Loop};
+use swp_ir::{Ddg, Loop, OptLevel, PassManager};
 use swp_machine::Machine;
 use swp_most::{MostError, MostOptions};
 use swp_obs::Telemetry;
-use swp_verify::{VerifyLevel, VerifyReport};
+use swp_verify::{Finding, VerifyLevel, VerifyReport};
 
 /// Which pipeliner to use.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +39,13 @@ pub struct CompileOptions {
     /// Translation-validation level. [`VerifyLevel::Off`] (the default)
     /// adds zero cost; `Full` also lints the input loop before scheduling.
     pub verify: VerifyLevel,
+    /// Mid-end pass-pipeline level run on the loop *before* any scheduler
+    /// sees it (ladder rungs included). [`OptLevel::Off`] (the default)
+    /// adds zero cost. Part of the schedule-cache key: the same source
+    /// loop compiled at different levels yields different code. When
+    /// `verify` is on, every pass application is additionally
+    /// translation-validated by differential simulation.
+    pub opt: OptLevel,
     /// Telemetry handle installed for the duration of the compile (and by
     /// the cache, on whichever thread ends up doing the work). The default
     /// disabled handle collects nothing. Deliberately **not** part of the
@@ -51,6 +59,7 @@ impl From<SchedulerChoice> for CompileOptions {
         CompileOptions {
             choice,
             verify: VerifyLevel::Off,
+            opt: OptLevel::Off,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -91,9 +100,15 @@ pub struct CompileStats {
     /// Simplex pivots across all ILP solves (0 for the heuristic). The
     /// deterministic fine-grained work measure behind `pivot_limit`.
     pub pivots: u64,
-    /// Whether a wall-clock deadline truncated the search. Such results
-    /// depend on host load; the schedule cache refuses to memoize them.
+    /// Whether a wall-clock deadline truncated the search *or* the
+    /// mid-end pass pipeline. Such results depend on host load; the
+    /// schedule cache refuses to memoize them.
     pub deadline_hit: bool,
+    /// Names of the mid-end passes that ran to completion before this
+    /// loop was scheduled, in execution order (empty at
+    /// [`OptLevel::Off`]). Together with `deadline_hit` this makes a
+    /// truncated pipeline distinguishable from a full run.
+    pub opt_passes: Vec<&'static str>,
     /// Values spilled (heuristic only).
     pub spills: u32,
     /// Nanoseconds in the pipeliner proper (II search + scheduling),
@@ -219,6 +234,11 @@ fn compile_inner(
     machine: &Machine,
     options: &CompileOptions,
 ) -> Result<CompiledLoop, CompileError> {
+    // The mid-end pass pipeline runs in front of *every* scheduler
+    // choice, ladder included: each rung then schedules the optimized
+    // body, so demotion never discards the optimization work.
+    let staged = run_opt_stage(lp, machine, options);
+    let lp = staged.lp.as_ref().unwrap_or(lp);
     // Ladder compiles carry their own per-rung verify gate; its report
     // (lints included) is authoritative and already attached, so a second
     // outer audit would only duplicate findings.
@@ -226,7 +246,9 @@ fn compile_inner(
         options.choice,
         SchedulerChoice::Ladder | SchedulerChoice::LadderWith(_)
     ) {
-        return compile_loop(lp, machine, &options.choice);
+        let mut compiled = compile_loop(lp, machine, &options.choice)?;
+        staged.record(&mut compiled);
+        return Ok(compiled);
     }
     let lints = if options.verify == VerifyLevel::Full {
         swp_verify::lint_findings(lp, machine)
@@ -239,7 +261,125 @@ fn compile_inner(
         report.findings.splice(0..0, lints);
         compiled.audit = Some(report);
     }
+    staged.record(&mut compiled);
     Ok(compiled)
+}
+
+/// What the mid-end stage did to one compile: the optimized body (when
+/// any pass changed it), the passes that completed, and the pipeline's
+/// own `SWP-P0xx` findings mapped onto audit [`Finding`]s.
+struct OptStage {
+    lp: Option<Loop>,
+    passes_run: Vec<&'static str>,
+    truncated: bool,
+    findings: Vec<Finding>,
+}
+
+impl OptStage {
+    fn skipped() -> OptStage {
+        OptStage {
+            lp: None,
+            passes_run: Vec::new(),
+            truncated: false,
+            findings: Vec::new(),
+        }
+    }
+
+    /// Fold the stage's bookkeeping into the finished compile.
+    fn record(self, compiled: &mut CompiledLoop) {
+        compiled.stats.opt_passes = self.passes_run;
+        if self.truncated {
+            // The deadline cut the pass pipeline short, so the emitted
+            // code depends on host load exactly like a truncated ILP
+            // search: mark the compile transient so the schedule cache
+            // never memoizes a partially-optimized result as if it were
+            // the full pipeline's output.
+            compiled.stats.deadline_hit = true;
+        }
+        if !self.findings.is_empty() {
+            if let Some(report) = &mut compiled.audit {
+                report.findings.splice(0..0, self.findings);
+            }
+        }
+    }
+}
+
+/// Run the [`PassManager`] over a clone of the input loop, under an
+/// `opt` telemetry span with per-pass application counters. Returns
+/// [`OptStage::skipped`] (and pays nothing) at [`OptLevel::Off`].
+fn run_opt_stage(lp: &Loop, machine: &Machine, options: &CompileOptions) -> OptStage {
+    if options.opt == OptLevel::Off || lp.is_empty() {
+        return OptStage::skipped();
+    }
+    let _span = swp_obs::span("opt")
+        .with_s("loop", lp.name())
+        .with_s("level", options.opt.name());
+    let mut body = lp.clone();
+    // Replaying twelve iterations bit-exactly is the strongest oracle the
+    // mid-end has: zero tolerance, so any pass that is not a bit-identical
+    // rewrite (given the sim's own eval semantics) is reverted.
+    let validate = |a: &Loop, b: &Loop| swp_sim::check_loops_equivalent(a, b, 12, 0.0);
+    let mut pm = PassManager::new(options.opt).with_deadline(opt_deadline(&options.choice));
+    if options.verify != VerifyLevel::Off {
+        pm = pm.with_validator(&validate);
+    }
+    let outcome = pm.run(&mut body, machine);
+    observe_opt(&outcome);
+    let findings = outcome
+        .findings
+        .iter()
+        .map(|f| Finding::warning(f.code, format!("{}: {}", f.pass, f.message)))
+        .collect();
+    OptStage {
+        lp: (outcome.ops_removed() > 0 || outcome.total_applications() > 0).then_some(body),
+        passes_run: outcome.passes_run,
+        truncated: outcome.truncated,
+        findings,
+    }
+}
+
+/// The wall-clock budget the mid-end inherits from the scheduler choice:
+/// optimization shares the loop's compile-time allowance rather than
+/// adding an unbounded stage in front of it. Heuristic compiles carry no
+/// wall budget, so their pipeline runs to fixpoint (it is bounded by the
+/// pass manager's round cap anyway).
+fn opt_deadline(choice: &SchedulerChoice) -> Option<Instant> {
+    let budget = match choice {
+        SchedulerChoice::Heuristic | SchedulerChoice::HeuristicWith(_) => None,
+        SchedulerChoice::Ilp => {
+            let d = MostOptions::default();
+            d.loop_time_limit.or(d.time_limit)
+        }
+        SchedulerChoice::IlpWith(opts) => opts.loop_time_limit.or(opts.time_limit),
+        SchedulerChoice::Ladder => {
+            let d = LadderOptions::default();
+            d.most.loop_time_limit.or(d.most.time_limit)
+        }
+        SchedulerChoice::LadderWith(opts) => opts.most.loop_time_limit.or(opts.most.time_limit),
+    };
+    budget.map(|d| Instant::now() + d)
+}
+
+/// Exact counters for one pass-pipeline run: per-pass application
+/// counts, ops removed, and RecMII before/after. All deterministic, so
+/// they aggregate bit-identically across worker threads.
+fn observe_opt(outcome: &swp_ir::OptOutcome) {
+    use swp_obs::{count, Counter};
+    for &(name, n) in &outcome.applications {
+        let counter = match name {
+            "fold" => Counter::OptPassFold,
+            "simplify" => Counter::OptPassSimplify,
+            "strength" => Counter::OptPassStrength,
+            "gvn" => Counter::OptPassGvn,
+            "dce" => Counter::OptPassDce,
+            "reassoc" => Counter::OptPassReassoc,
+            _ => continue,
+        };
+        count(counter, u64::from(n));
+    }
+    count(Counter::OptOpsRemoved, outcome.ops_removed() as u64);
+    count(Counter::OptRecMiiBefore, u64::from(outcome.rec_mii_before));
+    count(Counter::OptRecMiiAfter, u64::from(outcome.rec_mii_after));
 }
 
 /// Schedule-quality histograms for one successful compile. Gated on an
@@ -285,6 +425,7 @@ pub(crate) fn compile_heur(
             search_effort: u64::from(p.stats.backtracks),
             pivots: 0,
             deadline_hit: false,
+            opt_passes: Vec::new(),
             spills: p.stats.spills,
             sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
             alloc_ns: p.stats.alloc_ns,
@@ -320,6 +461,7 @@ pub(crate) fn compile_ilp(
             search_effort: p.stats.nodes,
             pivots: p.stats.pivots,
             deadline_hit: p.stats.deadline_hit,
+            opt_passes: Vec::new(),
             spills: 0,
             sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
             alloc_ns: p.stats.alloc_ns,

@@ -580,6 +580,7 @@ fn compile_sequential(lp: &Loop, machine: &Machine) -> Result<CompiledLoop, Comp
             search_effort: 0,
             pivots: 0,
             deadline_hit: false,
+            opt_passes: Vec::new(),
             spills: 0,
             sched_ns,
             alloc_ns,

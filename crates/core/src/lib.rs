@@ -72,6 +72,7 @@ pub use suite::{
     run_suite_baseline_with, run_suite_with, LadderLoopReport, LadderSuccess, LoopAudit,
     SuiteAudit, SuiteLadder, SuiteResult,
 };
+pub use swp_ir::{OptFinding, OptLevel, OptOutcome, PassManager};
 pub use swp_obs::{Counter, CounterSnapshot, Histo, HistogramSnapshot, Telemetry};
 pub use swp_verify::{Finding, Severity, VerifyLevel, VerifyReport};
 

@@ -97,6 +97,20 @@ impl LoopBuilder {
             class,
             def: None,
             name: name.to_owned(),
+            literal: None,
+        });
+        id
+    }
+
+    /// Declare a floating-point invariant with a known constant value.
+    /// Constant folding sees through these; plain invariants are opaque.
+    pub fn const_f(&mut self, name: &str, value: f64) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo {
+            class: RegClass::Float,
+            def: None,
+            name: name.to_owned(),
+            literal: Some(value.to_bits()),
         });
         id
     }
@@ -118,6 +132,7 @@ impl LoopBuilder {
             class,
             def: None,
             name: format!("{name}.carried"),
+            literal: None,
         });
         self.pending.push((placeholder, None));
         Carried { placeholder, class }
@@ -382,6 +397,7 @@ impl LoopBuilder {
             class: result_class.expect("class for result"),
             def: Some(id),
             name: format!("v{}", result.0),
+            literal: None,
         });
         self.ops.push(Op {
             id,

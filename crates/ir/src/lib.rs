@@ -16,7 +16,15 @@
 //! - the special inner-loop optimization passes of §2.1(3): if-conversion
 //!   (via the [`hir`] mini-language), recurrence interleaving,
 //!   inter-iteration common memory reference elimination, and classical
-//!   common subexpression elimination ([`passes`]).
+//!   common subexpression elimination ([`passes`]),
+//! - a dataflow framework over the cyclic IR ([`analysis`]): alias
+//!   summaries, iteration-distance-aware reaching definitions,
+//!   cross-iteration liveness, recurrence discovery, and value numbering,
+//! - a self-validating mid-end pass pipeline ([`opt`]) running constant
+//!   folding, algebraic simplification, strength reduction, GVN, dead-op
+//!   elimination, and recurrence re-association in front of the
+//!   schedulers, each application structurally audited (`SWP-P0xx`) and
+//!   optionally translation-validated by differential simulation.
 //!
 //! # Examples
 //!
@@ -41,19 +49,23 @@
 //! assert!(ddg.min_ii() >= 2); // 3 memory refs on 2 memory pipes
 //! ```
 
+pub mod analysis;
 mod builder;
 mod ddg;
 pub mod deps;
 pub mod hir;
 pub mod lint;
 mod op;
+pub mod opt;
 pub mod passes;
 mod pretty;
 mod schedule;
 
+pub use analysis::Analyses;
 pub use builder::{Carried, LoopBuilder};
 pub use ddg::{Ddg, DepEdge, DepKind, LongestPaths, Scc, SccId};
 pub use op::{ArrayId, ArrayInfo, Loop, MemAccess, Op, OpId, Operand, Sem, ValueId, ValueInfo};
+pub use opt::{OptFinding, OptLevel, OptOutcome, PassManager};
 pub use schedule::{Schedule, ScheduleError};
 
 #[cfg(test)]

@@ -145,12 +145,22 @@ pub struct ValueInfo {
     pub def: Option<OpId>,
     /// Debug name.
     pub name: String,
+    /// Known compile-time constant, stored as `f64` bits so the type stays
+    /// `Eq`/hashable. Only invariants may carry a literal; it is the seed
+    /// the interpreter uses in place of the default invariant value, and
+    /// what constant folding operates on.
+    pub literal: Option<u64>,
 }
 
 impl ValueInfo {
     /// Whether the value is a loop invariant (no definition in the body).
     pub fn is_invariant(&self) -> bool {
         self.def.is_none()
+    }
+
+    /// The literal constant as an `f64`, if one is known.
+    pub fn literal_f64(&self) -> Option<f64> {
+        self.literal.map(f64::from_bits)
     }
 }
 
@@ -319,6 +329,9 @@ impl Loop {
                     return Err(format!(
                         "value {v} claims def {d:?} which does not define it"
                     ));
+                }
+                if info.literal.is_some() {
+                    return Err(format!("op-defined value {v} carries a literal"));
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! Inner-loop optimization passes run before pipelining (§2.1 of the paper).
 //!
-//! - [`cse`]: classical common subexpression elimination (§2.1 category 2a);
+//! - [`cse`]: common subexpression elimination (§2.1 category 2a), a
+//!   fixpoint over the GVN engine in [`crate::opt`];
 //! - [`unroll`]: body replication, the basis of the compiler's "outer loop
 //!   unrolling" and of recurrence interleaving;
 //! - [`interleave_reduction`]: §2.1(3b), "interleaving of register
@@ -14,57 +15,26 @@ use crate::op::{Loop, Op, OpId, Operand, Sem, ValueId, ValueInfo};
 use std::collections::HashMap;
 use swp_machine::OpClass;
 
-/// Common subexpression elimination.
+/// Common subexpression elimination, backed by the value-numbering lattice
+/// of [`crate::analysis`].
 ///
-/// Merges side-effect-free ops with identical class, operands (values *and*
-/// distances), and memory descriptors. Identical affine loads merge too —
-/// stores never do. Runs to a fixpoint; returns the number of ops removed.
+/// Merges side-effect-free ops whose expression keys over the congruence
+/// classes coincide — identical operands trivially, but also operands that
+/// are merely congruent (e.g. two loads of the same cell feeding twin
+/// multiplies). Loads merge only when the alias summary proves the array
+/// store-free; stores never merge. The summary is computed once per
+/// fixpoint round instead of rescanning the body per load (the historical
+/// O(n²) behavior). Runs to a fixpoint; returns the number of ops removed.
 pub fn cse(lp: &mut Loop) -> usize {
-    type CseKey = (OpClass, Sem, Vec<Operand>, Option<[i64; 4]>);
     let mut removed_total = 0;
     loop {
-        let mut seen: HashMap<CseKey, ValueId> = HashMap::new();
-        let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
-        let mut dead: Vec<OpId> = Vec::new();
-        for op in lp.ops() {
-            if op.class == OpClass::Store || op.result.is_none() {
-                continue;
-            }
-            if op.mem.is_some_and(|m| m.indirect) {
-                continue; // indirect loads may alias stores unpredictably
-            }
-            // Loads are only safe to merge when nothing stores to the array.
-            if let Some(m) = op.mem {
-                let stores = lp.ops().iter().any(|o| {
-                    o.class == OpClass::Store && o.mem.is_some_and(|sm| sm.array == m.array)
-                });
-                if stores {
-                    continue;
-                }
-            }
-            let key = (
-                op.class,
-                op.sem,
-                op.operands.clone(),
-                op.mem
-                    .map(|m| [m.array.0 as i64, m.offset, m.stride, i64::from(m.indirect)]),
-            );
-            match seen.get(&key) {
-                Some(&prev) => {
-                    replace.insert(op.result.expect("checked"), prev);
-                    dead.push(op.id);
-                }
-                None => {
-                    seen.insert(key, op.result.expect("checked"));
-                }
-            }
-        }
-        if dead.is_empty() {
+        let alias = crate::analysis::AliasSummary::compute(lp);
+        let vn = crate::analysis::ValueNumbers::compute(lp, &alias);
+        let n = crate::opt::gvn_apply(lp, &alias, &vn);
+        if n == 0 {
             return removed_total;
         }
-        removed_total += dead.len();
-        substitute_values(lp, &replace);
-        remove_ops(lp, &dead);
+        removed_total += n;
     }
 }
 
@@ -193,6 +163,7 @@ pub fn unroll(lp: &Loop, k: u32, interleave: &[ValueId]) -> Loop {
                     class: info.class,
                     def: Some(OpId((ops.len() + op.id.index()) as u32)),
                     name: format!("{}.u{}", info.name, j),
+                    literal: None,
                 });
                 value_map.insert((r, j), nv);
             }
@@ -364,6 +335,7 @@ pub fn spill_to_memory(lp: &Loop, values: &[ValueId]) -> Loop {
                         class,
                         def: None, // fixed after renumbering
                         name: format!("{}.reload{}", out.values[v.index()].name, d),
+                        literal: None,
                     });
                     load_value.insert(d, nv);
                     new_ops.push(Op {
@@ -411,7 +383,7 @@ pub fn spill_to_memory(lp: &Loop, values: &[ValueId]) -> Loop {
 }
 
 /// Rewrite all operand values by a substitution map (distances preserved).
-fn substitute_values(lp: &mut Loop, map: &HashMap<ValueId, ValueId>) {
+pub(crate) fn substitute_values(lp: &mut Loop, map: &HashMap<ValueId, ValueId>) {
     for op in &mut lp.ops {
         for operand in &mut op.operands {
             if let Some(&nv) = map.get(&operand.value) {
@@ -424,7 +396,7 @@ fn substitute_values(lp: &mut Loop, map: &HashMap<ValueId, ValueId>) {
 /// Remove ops and compact op ids (values keep their ids; dead results
 /// become dangling `def: None` entries, which remain valid invariants only
 /// if unused — callers must have rewritten uses first).
-fn remove_ops(lp: &mut Loop, dead: &[OpId]) {
+pub(crate) fn remove_ops(lp: &mut Loop, dead: &[OpId]) {
     let mut id_map: HashMap<OpId, OpId> = HashMap::new();
     let mut ops = Vec::with_capacity(lp.ops.len() - dead.len());
     for op in lp.ops.drain(..) {

@@ -96,6 +96,16 @@ counters! {
     // swp-verify translation validation.
     VerifyAudits => ("verify.audits", "verify", Exact),
     VerifyFindings => ("verify.findings", "verify", Exact),
+    // swp-ir mid-end pass pipeline.
+    OptPassFold => ("opt.pass.fold", "opt", Exact),
+    OptPassSimplify => ("opt.pass.simplify", "opt", Exact),
+    OptPassStrength => ("opt.pass.strength", "opt", Exact),
+    OptPassGvn => ("opt.pass.gvn", "opt", Exact),
+    OptPassDce => ("opt.pass.dce", "opt", Exact),
+    OptPassReassoc => ("opt.pass.reassoc", "opt", Exact),
+    OptOpsRemoved => ("opt.ops_removed", "opt", Exact),
+    OptRecMiiBefore => ("opt.recmii_before", "opt", Exact),
+    OptRecMiiAfter => ("opt.recmii_after", "opt", Exact),
 }
 
 macro_rules! histograms {

@@ -135,6 +135,15 @@ fn seed_invariant(v: ValueId) -> f64 {
     1.5 + f64::from(v.0 % 11) / 7.0
 }
 
+/// Value of an invariant during execution: its literal when the IR knows
+/// one (so constant folding can be validated bit-exactly), the id-derived
+/// seed otherwise.
+fn invariant_value(lp: &Loop, v: ValueId) -> f64 {
+    lp.value(v)
+        .literal_f64()
+        .unwrap_or_else(|| seed_invariant(v))
+}
+
 /// Deterministic seed for a loop-carried value's pre-loop instances.
 ///
 /// Deliberately value-independent: transforms that merge or replicate
@@ -205,7 +214,7 @@ pub fn run_sequential(lp: &Loop, n: u64) -> MemoryImage {
         // Values default-fill with invariants' seeds.
         for (v, info) in lp.values().iter().enumerate() {
             if info.is_invariant() {
-                history[slot][v] = seed_invariant(ValueId(v as u32));
+                history[slot][v] = invariant_value(lp, ValueId(v as u32));
             }
         }
         for op in lp.ops() {
@@ -215,7 +224,7 @@ pub fn run_sequential(lp: &Loop, n: u64) -> MemoryImage {
                 .map(|operand| {
                     let info = lp.value(operand.value);
                     if info.is_invariant() {
-                        return seed_invariant(operand.value);
+                        return invariant_value(lp, operand.value);
                     }
                     let src = i - i64::from(operand.distance);
                     if src < 0 {
@@ -292,7 +301,7 @@ pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> Result<MemoryImage, SimErr
         for operand in &op.operands {
             let info = lp.value(operand.value);
             if info.is_invariant() {
-                args.push(seed_invariant(operand.value));
+                args.push(invariant_value(lp, operand.value));
                 continue;
             }
             let src = i - i64::from(operand.distance);
@@ -338,6 +347,46 @@ pub fn run_pipelined(code: &PipelinedLoop, n: u64) -> Result<MemoryImage, SimErr
         }
     }
     Ok(mem)
+}
+
+/// Differential translation validation: run both loops sequentially for
+/// `iters` iterations and compare the memory images (`bits_eq` when
+/// `tol == 0.0`, `approx_eq` otherwise). This is the oracle the mid-end
+/// pass pipeline consults after every pass application.
+///
+/// # Errors
+///
+/// Returns a description of the divergence (cell counts or the first
+/// mismatching cell) when the images disagree.
+pub fn check_loops_equivalent(a: &Loop, b: &Loop, iters: u64, tol: f64) -> Result<(), String> {
+    let ma = run_sequential(a, iters);
+    let mb = run_sequential(b, iters);
+    let same = if tol == 0.0 {
+        ma.bits_eq(&mb)
+    } else {
+        ma.approx_eq(&mb, tol)
+    };
+    if same {
+        return Ok(());
+    }
+    let wa = ma.written();
+    let wb = mb.written();
+    if wa.len() != wb.len() {
+        return Err(format!(
+            "memory images differ in written-cell count: {} vs {}",
+            wa.len(),
+            wb.len()
+        ));
+    }
+    for ((ka, va), (kb, vb)) in wa.iter().zip(&wb) {
+        if ka != kb {
+            return Err(format!("written cells differ: {ka:?} vs {kb:?}"));
+        }
+        if va.to_bits() != vb.to_bits() {
+            return Err(format!("cell {ka:?} diverged: {va} vs {vb}"));
+        }
+    }
+    Err("memory images diverged".to_owned())
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@
 pub mod interp;
 mod run;
 
-pub use interp::SimError;
+pub use interp::{check_loops_equivalent, SimError};
 pub use run::{simulate, simulate_baseline, SimResult};
 
 #[cfg(test)]

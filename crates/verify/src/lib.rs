@@ -103,17 +103,18 @@ pub fn audit(code: &PipelinedLoop, machine: &Machine, level: VerifyLevel) -> Ver
 }
 
 /// Run the pre-scheduling IR lints and map them onto [`Finding`]s.
-/// Severity by code: structural violations and unschedulable dependence
-/// cycles are errors; dead ops are warnings; dead recurrences are notes
-/// (the loop stores results, yet the carried chain feeds none of them —
-/// suspicious but semantics-preserving to schedule).
+/// Severity by code: structural violations, unschedulable dependence
+/// cycles, and distance-0 use-before-def are errors; dead ops and dead
+/// store pairs are warnings; dead recurrences and unbreakable zero-slack
+/// recurrences are notes (suspicious but semantics-preserving to
+/// schedule).
 pub fn lint_findings(lp: &Loop, machine: &Machine) -> Vec<Finding> {
     swp_ir::lint::lint_loop(lp, machine)
         .into_iter()
         .map(|l| {
             let mut f = match l.code {
-                "SWP-L002" => Finding::warning(l.code, l.message),
-                "SWP-L004" => Finding::note(l.code, l.message),
+                "SWP-L002" | "SWP-L006" => Finding::warning(l.code, l.message),
+                "SWP-L004" | "SWP-L007" => Finding::note(l.code, l.message),
                 _ => Finding::error(l.code, l.message),
             };
             f.op = l.op;

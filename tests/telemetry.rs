@@ -12,8 +12,8 @@
 
 use proptest::prelude::*;
 use showdown::{
-    compile_loop_with, CompileOptions, CounterSnapshot, Driver, LadderOptions, SchedulerChoice,
-    Telemetry, VerifyLevel,
+    compile_loop_with, CompileOptions, CounterSnapshot, Driver, LadderOptions, OptLevel,
+    SchedulerChoice, Telemetry, VerifyLevel,
 };
 use std::time::{Duration, Instant};
 use swp_kernels::{livermore, random_loop, GenParams};
@@ -46,11 +46,15 @@ fn counters_at(loops: &[swp_ir::Loop], machine: &Machine, threads: usize) -> Cou
         CompileOptions {
             choice: SchedulerChoice::Heuristic,
             verify: VerifyLevel::Full,
+            // Full opt so the mid-end's Exact counters are covered by
+            // the cross-thread determinism proof too.
+            opt: OptLevel::Full,
             telemetry: telemetry.clone(),
         },
         CompileOptions {
             choice: SchedulerChoice::IlpWith(tight_most()),
             verify: VerifyLevel::Off,
+            opt: OptLevel::Off,
             telemetry: telemetry.clone(),
         },
     ];
@@ -136,12 +140,14 @@ fn traced_compile_records_every_phase_and_exports_a_valid_trace() {
             ..LadderOptions::default()
         })),
         verify: VerifyLevel::Off,
+        opt: OptLevel::Off,
         telemetry: telemetry.clone(),
     };
     // A plain heuristic compile adds the heuristic scheduler spans.
     let heur = CompileOptions {
         choice: SchedulerChoice::Heuristic,
         verify: VerifyLevel::Full,
+        opt: OptLevel::Full,
         telemetry: telemetry.clone(),
     };
     let lp = &livermore()[0].body;
