@@ -8,7 +8,8 @@
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
 //! ii-compare solver ablation-order ablation-iisearch ablation-spill
-//! speedup all audit chaos profile bench opt`.
+//! speedup all audit chaos profile bench opt serve-bench serve-chaos
+//! serve-smoke`.
 //!
 //! `opt` (not part of `all`) runs every suite loop (plus the Livermore
 //! kernels) through the mid-end pass pipeline, translation-validating
@@ -46,6 +47,22 @@
 //! artifact): per-suite cold/warm wall time, per-scheduler compile time,
 //! cache hit rate, and the full exact-counter dump.
 //!
+//! `serve-bench` (not part of `all`) saturates the compile service —
+//! cold, warm, and kill-and-restart phases over one persistent store —
+//! and times the sharded cache against the single-lock baseline; with
+//! `--json FILE` it writes the snapshot committed as `BENCH_pr9.json`.
+//!
+//! `serve-chaos` (not part of `all`) runs the service-layer fault
+//! sweep: corrupt store records, a crash between temp-write and rename,
+//! mid-frame client disconnects, adversarial frames, and an overload
+//! burst. With `-D` any failed scenario exits nonzero — CI's proof that
+//! a bad client, a bad disk, or a bad day cannot take the service down.
+//!
+//! `serve-smoke` (not part of `all`) is the CI service gate: an
+//! 8-client saturation pass that must answer every loop (overload may
+//! demote, never reject), followed by a server kill and restart on the
+//! same store that must serve warm from disk, bit-identically.
+//!
 //! Result figures run on a shared parallel [`Driver`] (`--threads N`,
 //! default: all cores) whose schedule cache carries compiles across
 //! figures; each figure reports the cache hits/misses it contributed.
@@ -76,9 +93,7 @@ fn main() {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
+        .unwrap_or_else(Driver::default_threads);
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let m = Machine::r8000();
     let driver = Driver::new(threads);
@@ -529,7 +544,8 @@ fn main() {
                     std::process::exit(1);
                 }
             }
-            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+            swp_serve::write_atomic(std::path::Path::new(path), json.as_bytes())
+                .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
             println!("trace written to {path}");
         }
         let dead = report.telemetry.dead_exact_metrics();
@@ -567,9 +583,99 @@ fn main() {
             100.0 * hit_rate
         );
         if let Some(path) = json_path {
-            std::fs::write(path, &json)
+            swp_serve::write_atomic(std::path::Path::new(path), json.as_bytes())
                 .unwrap_or_else(|e| panic!("writing snapshot to {path}: {e}"));
             println!("snapshot written to {path}");
+        }
+    }
+
+    if cmd == "serve-chaos" {
+        let deny = args.iter().any(|a| a == "-D" || a == "--deny");
+        println!("== Serve chaos: service-layer fault injection ==");
+        println!("{:<28} {:>6}  detail", "scenario", "pass");
+        let root = serve_root("chaos");
+        let reports = swp_serve::service_chaos(&m, &root);
+        let mut failed = 0usize;
+        for r in &reports {
+            println!(
+                "{:<28} {:>6}  {}",
+                r.scenario,
+                if r.passed { "ok" } else { "FAIL" },
+                r.detail
+            );
+            failed += usize::from(!r.passed);
+        }
+        println!("scenarios failed: {failed}/{}", reports.len());
+        let _ = std::fs::remove_dir_all(&root);
+        if deny && failed > 0 {
+            std::process::exit(1);
+        }
+    }
+
+    if cmd == "serve-bench" {
+        let json_path = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1));
+        let clients = args
+            .iter()
+            .position(|a| a == "--clients")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(8);
+        println!("== Serve bench: saturation (cold/warm/restart) + shard compare ==");
+        let root = serve_root("bench");
+        let sat = swp_serve::saturate(&m, clients, &root)
+            .unwrap_or_else(|e| panic!("saturation bench: {e}"));
+        let _ = std::fs::remove_dir_all(&root);
+        print_saturation(&sat);
+        // Enough rounds that the all-hit path (where lock contention
+        // lives) dominates the one compile round.
+        let shards = swp_serve::shard_compare(&m, 8, 64);
+        println!(
+            "shard compare: {} threads x {} rounds — single-lock {}us, sharded {}us ({:.2}x)",
+            shards.threads,
+            shards.rounds,
+            shards.single_lock_us,
+            shards.sharded_us,
+            shards.speedup()
+        );
+        if let Some(path) = json_path {
+            let json = serve_bench_json(&sat, &shards);
+            swp_obs::parse_json(&json).expect("serve-bench serializer emits valid JSON");
+            swp_serve::write_atomic(std::path::Path::new(path), json.as_bytes())
+                .unwrap_or_else(|e| panic!("writing serve snapshot to {path}: {e}"));
+            println!("snapshot written to {path}");
+        }
+    }
+
+    if cmd == "serve-smoke" {
+        let deny = args.iter().any(|a| a == "-D" || a == "--deny");
+        println!("== Serve smoke: 8-client saturation + kill/restart warm-hit gate ==");
+        let root = serve_root("smoke");
+        let sat =
+            swp_serve::saturate(&m, 8, &root).unwrap_or_else(|e| panic!("saturation smoke: {e}"));
+        let _ = std::fs::remove_dir_all(&root);
+        print_saturation(&sat);
+        let mut failures = Vec::new();
+        if sat.errors > 0 {
+            failures.push(format!(
+                "{} error replies (overload must demote, never reject)",
+                sat.errors
+            ));
+        }
+        if sat.restart_hit_rate() <= 0.0 {
+            failures.push("restart phase served zero disk hits".to_owned());
+        }
+        if failures.is_empty() {
+            println!("gate: ok");
+        } else {
+            for f in &failures {
+                println!("gate: FAIL — {f}");
+            }
+            if deny {
+                std::process::exit(1);
+            }
         }
     }
 
@@ -604,4 +710,93 @@ fn main() {
             seq_total / par_total.max(1e-9)
         );
     }
+}
+
+/// A private scratch directory for service runs (store + socket debris).
+fn serve_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swp-exp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn print_saturation(sat: &swp_serve::SaturationReport) {
+    println!(
+        "{} clients x {} loops/phase; error replies: {}",
+        sat.clients, sat.loops_per_phase, sat.errors
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>10}",
+        "phase", "batches", "p50(us)", "p99(us)"
+    );
+    for (name, p) in [
+        ("cold", &sat.cold),
+        ("warm", &sat.warm),
+        ("restart", &sat.restart),
+    ] {
+        println!(
+            "{:<8} {:>8} {:>10} {:>10}",
+            name, p.batches, p.p50_us, p.p99_us
+        );
+    }
+    println!(
+        "cold server: {} admitted, {} demoted, {} persisted; restart server: {} disk hits / {} \
+         admitted ({:.0}% disk hit rate), {} recompiles",
+        sat.cold_stats.admitted,
+        sat.cold_stats.demoted,
+        sat.cold_stats.store.persisted,
+        sat.restart_stats.store.hits,
+        sat.restart_stats.admitted,
+        100.0 * sat.restart_hit_rate(),
+        sat.restart_stats.cache.misses
+    );
+}
+
+fn phase_json(w: &mut swp_obs::JsonWriter, key: &str, p: &swp_serve::PhaseLatency) {
+    w.key(key).begin_object();
+    w.key("batches").uint(p.batches as u64);
+    w.key("p50_us").uint(p.p50_us);
+    w.key("p99_us").uint(p.p99_us);
+    w.end_object();
+}
+
+fn serve_stats_json(w: &mut swp_obs::JsonWriter, key: &str, s: &swp_serve::ServeStats) {
+    w.key(key).begin_object();
+    w.key("admitted").uint(s.admitted);
+    w.key("demoted").uint(s.demoted);
+    w.key("inflight_waits").uint(s.inflight_waits);
+    w.key("cache_hits").uint(s.cache.hits);
+    w.key("cache_misses").uint(s.cache.misses);
+    w.key("store_hits").uint(s.store.hits);
+    w.key("store_misses").uint(s.store.misses);
+    w.key("store_corrupt_recovered")
+        .uint(s.store.corrupt_recovered);
+    w.key("store_persisted").uint(s.store.persisted);
+    w.end_object();
+}
+
+/// Render the `swp-serve-bench/1` snapshot committed as `BENCH_pr9.json`.
+fn serve_bench_json(sat: &swp_serve::SaturationReport, shards: &swp_serve::ShardCompare) -> String {
+    let mut w = swp_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("schema").string("swp-serve-bench/1");
+    w.key("saturation").begin_object();
+    w.key("clients").uint(sat.clients as u64);
+    w.key("loops_per_phase").uint(sat.loops_per_phase as u64);
+    w.key("errors").uint(sat.errors as u64);
+    phase_json(&mut w, "cold", &sat.cold);
+    phase_json(&mut w, "warm", &sat.warm);
+    phase_json(&mut w, "restart", &sat.restart);
+    serve_stats_json(&mut w, "cold_stats", &sat.cold_stats);
+    serve_stats_json(&mut w, "restart_stats", &sat.restart_stats);
+    w.key("restart_disk_hit_rate").float(sat.restart_hit_rate());
+    w.end_object();
+    w.key("shard_compare").begin_object();
+    w.key("threads").uint(shards.threads as u64);
+    w.key("rounds").uint(shards.rounds as u64);
+    w.key("single_lock_us").uint(shards.single_lock_us);
+    w.key("sharded_us").uint(shards.sharded_us);
+    w.key("speedup").float(shards.speedup());
+    w.end_object();
+    w.end_object();
+    w.finish()
 }

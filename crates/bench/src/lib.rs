@@ -1561,6 +1561,32 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
         loops += 1;
     }
 
+    // One round trip through the compile service so the `serve.*`
+    // registry rows are exercised: handler threads install this same
+    // collector, so `serve.admitted` (Exact) lands here and the
+    // dead-metric lint covers the service layer too.
+    {
+        let socket = std::env::temp_dir().join(format!("swp-profile-{}.sock", std::process::id()));
+        let mut opts = swp_serve::ServerOptions::at(socket);
+        opts.telemetry = telemetry.clone();
+        let server =
+            swp_serve::Server::start(machine.clone(), opts).expect("profile serve roundtrip");
+        let mut client = swp_serve::Client::connect(server.socket()).expect("profile serve client");
+        let batch = swp_serve::RequestBatch {
+            batch_id: 1,
+            client: "profile".into(),
+            deadline_ms: 0,
+            choice: swp_serve::WireChoice::Heuristic,
+            opt: OptLevel::Off,
+            verify: VerifyLevel::Off,
+            loops: kernels.iter().take(2).map(|k| k.body.clone()).collect(),
+        };
+        let resp = client
+            .compile_batch(&batch)
+            .expect("profile serve response");
+        loops += resp.results.len();
+    }
+
     ProfileReport {
         telemetry,
         loops,

@@ -204,6 +204,11 @@ fn fold_ladder_options(h: &mut StableHasher, opts: &LadderOptions) {
     fold_most_options(h, &opts.most);
     fold_heur_options(h, &opts.heur);
     h.u64(u64::from(opts.escalation_rounds));
+    // A demoted (lower-start) compile is a different artifact from a full
+    // ladder run and must never alias one — overload demotion would
+    // otherwise poison the cache (and the disk store) for quiet requests.
+    h.byte(b'R');
+    h.byte(opts.start_rung.index() as u8);
     h.byte(b'G');
     h.byte(match opts.gate {
         VerifyLevel::Off => 0,
@@ -279,6 +284,16 @@ enum Slot {
     Ready(Result<Arc<CompiledLoop>, CompileError>),
 }
 
+/// One lock's worth of the table. The map and its condition variable
+/// travel together: a waiter blocked on `ready` always re-checks the
+/// `slots` guarded by the *same* shard, so notifications cannot be lost
+/// between shards.
+#[derive(Default)]
+struct Shard {
+    slots: Mutex<HashMap<u64, Slot>>,
+    ready: Condvar,
+}
+
 /// Unwind protection for the in-flight dedup protocol: the leader that
 /// inserted a `Pending` slot owes its waiters a wake-up. If the compile
 /// panics, this guard's `Drop` runs during unwind, removes the orphaned
@@ -286,7 +301,7 @@ enum Slot {
 /// the slot empty, and becomes the new leader instead of sleeping forever
 /// on a key nobody owns. Disarmed on the normal publish path.
 struct PendingGuard<'a> {
-    cache: &'a ScheduleCache,
+    shard: &'a Shard,
     key: u64,
     armed: bool,
 }
@@ -299,10 +314,10 @@ impl Drop for PendingGuard<'_> {
         // The compile runs outside the slot lock, so the lock cannot be
         // poisoned by the panic being unwound; `if let` keeps this drop
         // panic-free even if that invariant ever breaks.
-        if let Ok(mut slots) = self.cache.slots.lock() {
+        if let Ok(mut slots) = self.shard.slots.lock() {
             slots.remove(&self.key);
         }
-        self.cache.ready.notify_all();
+        self.shard.ready.notify_all();
     }
 }
 
@@ -347,19 +362,56 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe memo table from compile requests to compiled loops.
-#[derive(Default)]
+/// A thread-safe memo table from compile requests to compiled loops,
+/// sharded by key hash so concurrent requests for *different* keys never
+/// contend on one lock. Each shard is an independent map + condvar pair;
+/// the in-flight dedup protocol (Pending slots, leader/waiter wake-ups,
+/// panic recovery) runs entirely within a key's home shard.
 pub struct ScheduleCache {
-    slots: Mutex<HashMap<u64, Slot>>,
-    ready: Condvar,
+    shards: Box<[Shard]>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+/// Default shard count: enough to make lock collisions rare at the thread
+/// counts the `Driver` and the compile service run (8–32 workers), small
+/// enough that `len`/`clear` sweeps stay trivial.
+const DEFAULT_SHARDS: usize = 16;
+
+impl Default for ScheduleCache {
+    fn default() -> ScheduleCache {
+        ScheduleCache::with_shards(DEFAULT_SHARDS)
+    }
+}
+
 impl ScheduleCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> ScheduleCache {
         ScheduleCache::default()
+    }
+
+    /// An empty cache with an explicit shard count (clamped to at least
+    /// 1). `with_shards(1)` is the pre-sharding single-lock behavior —
+    /// benchmarks use it as the contention baseline.
+    pub fn with_shards(shards: usize) -> ScheduleCache {
+        ScheduleCache {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (for reports and tests).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of a key. The FNV key is already well mixed; fold
+    /// the high half in so shard choice and any power-of-two table
+    /// indexing inside the map never correlate.
+    fn shard_of(&self, key: u64) -> &Shard {
+        let mixed = key ^ (key >> 32);
+        &self.shards[(mixed % self.shards.len() as u64) as usize]
     }
 
     /// Compile `lp` with `choice`, or return the memoized result of an
@@ -403,8 +455,9 @@ impl ScheduleCache {
             .then(|| options.telemetry.install());
         let lookup = swp_obs::span("cache.lookup").with_s("loop", lp.name());
         let key = cache_key_with(lp, machine, options);
+        let shard = self.shard_of(key);
         {
-            let mut slots = self.slots.lock().expect("cache lock");
+            let mut slots = shard.slots.lock().expect("cache lock");
             loop {
                 match slots.get(&key) {
                     Some(Slot::Ready(r)) => {
@@ -414,7 +467,7 @@ impl ScheduleCache {
                     }
                     Some(Slot::Pending) => {
                         swp_obs::count(swp_obs::Counter::CacheInflightWaits, 1);
-                        slots = self.ready.wait(slots).expect("cache lock");
+                        slots = shard.ready.wait(slots).expect("cache lock");
                     }
                     None => {
                         slots.insert(key, Slot::Pending);
@@ -427,13 +480,13 @@ impl ScheduleCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         swp_obs::count(swp_obs::Counter::CacheMisses, 1);
         let mut guard = PendingGuard {
-            cache: self,
+            shard,
             key,
             armed: true,
         };
         let result = compile_loop_with(lp, machine, options).map(Arc::new);
         guard.armed = false;
-        let mut slots = self.slots.lock().expect("cache lock");
+        let mut slots = shard.slots.lock().expect("cache lock");
         if is_transient(&result) {
             // Deadline-truncated outcome: hand it to this caller but do
             // not memoize — drop the Pending slot so waiters (and future
@@ -443,23 +496,52 @@ impl ScheduleCache {
         } else {
             slots.insert(key, Slot::Ready(result.clone()));
         }
-        self.ready.notify_all();
+        shard.ready.notify_all();
         result
+    }
+
+    /// Look up a *ready* entry by its precomputed key without compiling,
+    /// waiting on in-flight leaders, or touching the hit/miss counters.
+    /// Layered caches (the compile service's memory → disk → compile
+    /// chain) use this to decide whether the disk store even needs to be
+    /// consulted; `None` covers both "absent" and "still in flight".
+    pub fn peek(&self, key: u64) -> Option<Result<Arc<CompiledLoop>, CompileError>> {
+        match self
+            .shard_of(key)
+            .slots
+            .lock()
+            .expect("cache lock")
+            .get(&key)
+        {
+            Some(Slot::Ready(r)) => Some(r.clone()),
+            _ => None,
+        }
     }
 
     /// Whether an entry (ready or in flight) exists for this request.
     pub fn contains(&self, lp: &Loop, machine: &Machine, choice: &SchedulerChoice) -> bool {
         let key = cache_key(lp, machine, choice);
-        self.slots.lock().expect("cache lock").contains_key(&key)
+        self.shard_of(key)
+            .slots
+            .lock()
+            .expect("cache lock")
+            .contains_key(&key)
     }
 
     /// Memoized entries (ready only).
     pub fn len(&self) -> usize {
-        let slots = self.slots.lock().expect("cache lock");
-        slots
-            .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
-            .count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .slots
+                    .lock()
+                    .expect("cache lock")
+                    .values()
+                    .filter(|s| matches!(s, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Whether the cache holds no ready entries.
@@ -475,10 +557,14 @@ impl ScheduleCache {
         }
     }
 
-    /// Drop every memoized entry and zero the counters.
+    /// Drop every memoized entry and zero the counters. Shards are
+    /// cleared one at a time; in-flight compiles keep their Pending slots
+    /// so their waiters still get woken.
     pub fn clear(&self) {
-        let mut slots = self.slots.lock().expect("cache lock");
-        slots.retain(|_, s| matches!(s, Slot::Pending));
+        for shard in self.shards.iter() {
+            let mut slots = shard.slots.lock().expect("cache lock");
+            slots.retain(|_, s| matches!(s, Slot::Pending));
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -925,23 +1011,104 @@ mod tests {
     }
 
     #[test]
+    fn shard_counts_are_configurable_and_behavior_matches_single_lock() {
+        let m = Machine::r8000();
+        assert_eq!(ScheduleCache::new().shard_count(), DEFAULT_SHARDS);
+        assert_eq!(ScheduleCache::with_shards(0).shard_count(), 1);
+        // Identical request sequences produce identical hit/miss totals
+        // and entry counts at any shard count, including the single-lock
+        // baseline.
+        let loops: Vec<Loop> = (0..6)
+            .map(|i| {
+                let mut b = LoopBuilder::new("shardy");
+                let x = b.array("x", 8);
+                let v = b.load(x, i, 8);
+                b.store(x, i + 64, 8, v);
+                b.finish()
+            })
+            .collect();
+        let run = |shards: usize| {
+            let cache = ScheduleCache::with_shards(shards);
+            for _ in 0..2 {
+                for lp in &loops {
+                    cache
+                        .get_or_compile(lp, &m, &SchedulerChoice::Heuristic)
+                        .expect("compiles");
+                }
+            }
+            (cache.stats(), cache.len())
+        };
+        let single = run(1);
+        for shards in [2, 16, 64] {
+            assert_eq!(run(shards), single, "{shards} shards");
+        }
+        assert_eq!(single.0, CacheStats { hits: 6, misses: 6 });
+        assert_eq!(single.1, 6);
+    }
+
+    #[test]
+    fn clear_works_across_shards() {
+        let m = Machine::r8000();
+        let cache = ScheduleCache::with_shards(4);
+        for i in 0..5 {
+            let mut b = LoopBuilder::new("c");
+            let x = b.array("x", 8);
+            let v = b.load(x, i, 8);
+            b.store(x, i + 64, 8, v);
+            cache
+                .get_or_compile(&b.finish(), &m, &SchedulerChoice::Heuristic)
+                .expect("compiles");
+        }
+        assert_eq!(cache.len(), 5);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn start_rung_is_part_of_the_key() {
+        let m = Machine::r8000();
+        let lp = saxpy("s");
+        let quiet = cache_key(&lp, &m, &SchedulerChoice::Ladder);
+        for level in [1, 2] {
+            let demoted =
+                SchedulerChoice::LadderWith(Box::new(LadderOptions::default().demoted(level)));
+            assert_ne!(
+                quiet,
+                cache_key(&lp, &m, &demoted),
+                "demotion level {level} must not alias the full ladder"
+            );
+        }
+        assert_eq!(
+            cache_key(
+                &lp,
+                &m,
+                &SchedulerChoice::LadderWith(Box::new(LadderOptions::default().demoted(0)))
+            ),
+            quiet,
+            "level 0 is no demotion at all"
+        );
+    }
+
+    #[test]
     fn orphaned_pending_slot_is_cleared_by_the_guard() {
         let m = Machine::r8000();
         let cache = ScheduleCache::new();
         let lp = saxpy("s");
         let key = cache_key(&lp, &m, &SchedulerChoice::Heuristic);
-        cache
+        let shard = cache.shard_of(key);
+        shard
             .slots
             .lock()
             .expect("cache lock")
             .insert(key, Slot::Pending);
         drop(PendingGuard {
-            cache: &cache,
+            shard,
             key,
             armed: true,
         });
         assert!(
-            !cache.slots.lock().expect("cache lock").contains_key(&key),
+            !shard.slots.lock().expect("cache lock").contains_key(&key),
             "an armed guard must clear its Pending slot on drop"
         );
         // With the slot cleared, a fresh request compiles normally.
@@ -991,12 +1158,14 @@ mod tests {
             cache.is_empty(),
             "a panicked compile must leave nothing behind"
         );
+        let chaotic_key = cache_key(&lp, &m, &chaotic);
         assert!(
             !cache
+                .shard_of(chaotic_key)
                 .slots
                 .lock()
                 .expect("cache lock stays healthy")
-                .contains_key(&cache_key(&lp, &m, &chaotic)),
+                .contains_key(&chaotic_key),
             "no orphaned Pending entry"
         );
         // The same cache still serves quiet compiles of the same loop.

@@ -111,6 +111,11 @@ pub struct CompileStats {
     pub opt_passes: Vec<&'static str>,
     /// Values spilled (heuristic only).
     pub spills: u32,
+    /// Worker count of the [`crate::Driver`] that issued this compile
+    /// (the resolved `SWP_THREADS`/available-parallelism choice); 0 for
+    /// compiles performed outside any driver. Informational: cache hits
+    /// return the count of whichever driver compiled the entry first.
+    pub driver_threads: usize,
     /// Nanoseconds in the pipeliner proper (II search + scheduling),
     /// excluding register allocation.
     pub sched_ns: u64,
@@ -427,6 +432,7 @@ pub(crate) fn compile_heur(
             deadline_hit: false,
             opt_passes: Vec::new(),
             spills: p.stats.spills,
+            driver_threads: crate::par::driver_threads_hint(),
             sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
             alloc_ns: p.stats.alloc_ns,
             expand_ns,
@@ -463,6 +469,7 @@ pub(crate) fn compile_ilp(
             deadline_hit: p.stats.deadline_hit,
             opt_passes: Vec::new(),
             spills: 0,
+            driver_threads: crate::par::driver_threads_hint(),
             sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
             alloc_ns: p.stats.alloc_ns,
             expand_ns,

@@ -174,6 +174,11 @@ pub struct LadderOptions {
     /// findings demote. `Off` disables gating (chaos experiments use it
     /// to demonstrate what the gate is worth).
     pub gate: VerifyLevel,
+    /// First rung the ladder attempts (default [`Rung::Ilp`]). Admission
+    /// control demotes overloaded requests by starting lower — skipping
+    /// the expensive ILP rung entirely instead of rejecting the request —
+    /// while keeping every guarantee below the start rung intact.
+    pub start_rung: Rung,
     /// Fault-injection plan (quiet by default).
     pub chaos: ChaosOptions,
 }
@@ -185,8 +190,40 @@ impl Default for LadderOptions {
             heur: HeurOptions::default(),
             escalation_rounds: 3,
             gate: VerifyLevel::Full,
+            start_rung: Rung::Ilp,
             chaos: ChaosOptions::default(),
         }
+    }
+}
+
+impl LadderOptions {
+    /// The overload-demoted configuration admission control applies at
+    /// `level` (0 = no demotion). Level 1 keeps the ILP rung but under a
+    /// much tighter deterministic pivot leash; level 2+ skips straight to
+    /// the heuristic rung with a reduced backtrack budget and fewer
+    /// escalation rounds. Every level still ends at the sequential rung,
+    /// so a demoted request always gets *an* answer — the PR 4 totality
+    /// guarantee extended to the service boundary.
+    pub fn demoted(&self, level: u32) -> LadderOptions {
+        let mut opts = self.clone();
+        match level {
+            0 => {}
+            1 => {
+                opts.most.loop_pivot_limit = Some(
+                    opts.most
+                        .loop_pivot_limit
+                        .map_or(100_000, |p| (p / 8).max(1)),
+                );
+                opts.most.pivot_limit = opts.most.pivot_limit.clamp(1, 100_000);
+                opts.most.node_limit = opts.most.node_limit.clamp(1, 2_000);
+            }
+            _ => {
+                opts.start_rung = Rung::Heuristic;
+                opts.heur.backtrack_budget = (opts.heur.backtrack_budget / 4).max(1);
+                opts.escalation_rounds = opts.escalation_rounds.min(1);
+            }
+        }
+        opts
     }
 }
 
@@ -372,7 +409,7 @@ pub fn compile_ladder(
     if lint_errors > 0 {
         return Err(CompileError::LadderExhausted {
             attempts: vec![RungAttempt {
-                rung: Rung::Ilp,
+                rung: opts.start_rung,
                 outcome: RungOutcome::LintRejected {
                     errors: lint_errors,
                 },
@@ -383,7 +420,10 @@ pub fn compile_ladder(
     }
 
     let mut attempts: Vec<RungAttempt> = Vec::new();
-    for rung in Rung::ALL {
+    for rung in Rung::ALL
+        .into_iter()
+        .filter(|r| r.index() >= opts.start_rung.index())
+    {
         let fault = opts.chaos.fault_at(rung);
         let rung_span = swp_obs::span("ladder.rung").with_s("rung", rung.name());
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -582,6 +622,7 @@ fn compile_sequential(lp: &Loop, machine: &Machine) -> Result<CompiledLoop, Comp
             deadline_hit: false,
             opt_passes: Vec::new(),
             spills: 0,
+            driver_threads: crate::par::driver_threads_hint(),
             sched_ns,
             alloc_ns,
             expand_ns,

@@ -52,14 +52,58 @@ pub struct Driver {
 }
 
 impl Default for Driver {
-    /// One worker per available core, with a fresh cache.
+    /// [`Driver::default_threads`] workers, with a fresh cache.
     fn default() -> Driver {
-        let threads = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
-        Driver::new(threads)
+        Driver::new(Driver::default_threads())
+    }
+}
+
+// Ambient worker-count hint: set by Driver::compile/compile_with around
+// the underlying compile so CompileStats::driver_threads can record which
+// driver configuration performed the work (0 = outside any driver).
+thread_local! {
+    static DRIVER_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The current thread's driver worker-count hint (0 outside a driver).
+pub(crate) fn driver_threads_hint() -> usize {
+    DRIVER_THREADS.with(std::cell::Cell::get)
+}
+
+/// RAII restore for the hint, so nested/sequential-view drivers unwind
+/// cleanly even when a compile panics.
+struct ThreadsHintGuard(usize);
+
+impl ThreadsHintGuard {
+    fn set(n: usize) -> ThreadsHintGuard {
+        ThreadsHintGuard(DRIVER_THREADS.with(|c| c.replace(n)))
+    }
+}
+
+impl Drop for ThreadsHintGuard {
+    fn drop(&mut self) {
+        DRIVER_THREADS.with(|c| c.set(self.0));
     }
 }
 
 impl Driver {
+    /// The default worker count: `SWP_THREADS` when set to a positive
+    /// integer (clamped to at most 4× the available parallelism, so a
+    /// typo cannot fork-bomb the host), otherwise
+    /// [`std::thread::available_parallelism`]. Replaces ad-hoc defaults
+    /// so every entry point (driver, experiments binary, compile
+    /// service) resolves threads the same way.
+    pub fn default_threads() -> usize {
+        let avail = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        match std::env::var("SWP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n.min(avail.saturating_mul(4)),
+            _ => avail,
+        }
+    }
+
     /// A driver with `threads` workers (clamped to at least 1) and a
     /// fresh shared cache.
     pub fn new(threads: usize) -> Driver {
@@ -124,6 +168,7 @@ impl Driver {
         machine: &Machine,
         choice: &SchedulerChoice,
     ) -> Result<Arc<CompiledLoop>, CompileError> {
+        let _hint = ThreadsHintGuard::set(self.threads);
         catch_internal(|| match &self.cache {
             Some(cache) => cache.get_or_compile(lp, machine, choice),
             None => compile_loop(lp, machine, choice).map(Arc::new),
@@ -144,6 +189,7 @@ impl Driver {
         machine: &Machine,
         options: &CompileOptions,
     ) -> Result<Arc<CompiledLoop>, CompileError> {
+        let _hint = ThreadsHintGuard::set(self.threads);
         catch_internal(|| match &self.cache {
             Some(cache) => cache.get_or_compile_with(lp, machine, options),
             None => compile_loop_with(lp, machine, options).map(Arc::new),

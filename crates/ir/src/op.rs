@@ -193,6 +193,41 @@ pub struct Loop {
 }
 
 impl Loop {
+    /// Assemble a loop directly from its parts, validating every builder
+    /// invariant. This is the decoder-side constructor: wire formats and
+    /// stores that ship loop bodies between processes reconstruct them
+    /// here without replaying a [`crate::LoopBuilder`] program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant (see [`Loop::validate`]) —
+    /// untrusted input must never yield a structurally invalid loop.
+    pub fn from_raw_parts(
+        name: String,
+        ops: Vec<Op>,
+        values: Vec<ValueInfo>,
+        arrays: Vec<ArrayInfo>,
+    ) -> Result<Loop, String> {
+        let lp = Loop {
+            name,
+            ops,
+            values,
+            arrays,
+        };
+        for op in &lp.ops {
+            if let Some(m) = op.mem {
+                if m.array.index() >= lp.arrays.len() {
+                    return Err(format!(
+                        "op {:?} references unknown array {:?}",
+                        op.id, m.array
+                    ));
+                }
+            }
+        }
+        lp.validate()?;
+        Ok(lp)
+    }
+
     /// Loop name (for reports).
     pub fn name(&self) -> &str {
         &self.name

@@ -106,6 +106,15 @@ counters! {
     OptOpsRemoved => ("opt.ops_removed", "opt", Exact),
     OptRecMiiBefore => ("opt.recmii_before", "opt", Exact),
     OptRecMiiAfter => ("opt.recmii_after", "opt", Exact),
+    // swp-serve: the fault-tolerant compile service. Admission counts are
+    // Exact (one per loop admitted, independent of load); everything that
+    // depends on scheduling luck — demotions under load, disk-store hits,
+    // corrupt-entry recoveries, in-flight waits — is Timing.
+    ServeAdmitted => ("serve.admitted", "serve", Exact),
+    ServeDemotedByLoad => ("serve.demoted_by_load", "serve", Timing),
+    ServeStoreHits => ("serve.store_hit", "serve", Timing),
+    ServeStoreCorruptRecovered => ("serve.store_corrupt_recovered", "serve", Timing),
+    ServeInflightWaits => ("serve.inflight", "serve", Timing),
 }
 
 macro_rules! histograms {

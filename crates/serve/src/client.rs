@@ -1,0 +1,80 @@
+//! A minimal blocking client for the compile service.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::proto::{self, Message, ProtoError, RequestBatch, ResponseBatch};
+
+/// One connection to a compile server.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connect to the server's socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Io`] on connect failure.
+    pub fn connect(socket: &Path) -> Result<Client, ProtoError> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Bound every read; a server that never answers then yields
+    /// [`ProtoError::Io`] instead of hanging the caller — chaos tests
+    /// rely on this to turn a would-be hang into a failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Io`] if the timeout cannot be set.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> Result<(), ProtoError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Send one request batch and wait for its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors; a server-side [`Message::Error`]
+    /// frame surfaces as [`ProtoError::Malformed`] carrying the
+    /// server's message.
+    pub fn compile_batch(&mut self, req: &RequestBatch) -> Result<ResponseBatch, ProtoError> {
+        proto::write_message(&mut self.stream, &Message::Request(req.clone()))?;
+        match proto::read_message(&mut self.stream)? {
+            Some(Message::Response(resp)) => Ok(resp),
+            Some(Message::Error(msg)) => Err(ProtoError::Malformed(format!(
+                "server rejected frame: {msg}"
+            ))),
+            Some(Message::Request(_)) => {
+                Err(ProtoError::Malformed("server sent a request frame".into()))
+            }
+            None => Err(ProtoError::MidFrameEof { got: 0, want: 8 }),
+        }
+    }
+
+    /// Write raw bytes on the connection — the adversarial tests' way of
+    /// sending deliberately broken frames.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Io`] on transport failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ProtoError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Read one message (for tests that poke the protocol directly).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn read_message(&mut self) -> Result<Option<Message>, ProtoError> {
+        proto::read_message(&mut self.stream)
+    }
+}

@@ -1,0 +1,256 @@
+//! The crash-safe persistent schedule store.
+//!
+//! One file per compile key: `<key:016x>.rec`, holding
+//! `[magic "SWST"][version u8][key u64 LE][payload length u32 LE]
+//! [payload][FNV-1a of payload, u64 LE]` where the payload is the
+//! standalone [`LoopOk`] encoding from the wire protocol.
+//!
+//! Crash safety is the classic temp-file-plus-rename protocol: a record
+//! is written to a uniquely named `.tmp` file in the same directory and
+//! renamed into place, so a reader can never observe a half-written
+//! record under its final name. A crash mid-persist leaves only a stray
+//! `.tmp`, which [`DiskStore::open`] sweeps on the next start. Whatever
+//! still goes wrong on disk — truncation, bit rot, a hostile edit — is
+//! caught by the magic/key/length/checksum gauntlet in
+//! [`DiskStore::load`], reported as [`Lookup::Corrupt`], deleted, and
+//! silently recompiled; a corrupt store entry costs one compile, never
+//! an incident.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::proto::{decode_result, encode_result, fnv1a, LoopOk};
+
+/// Record magic.
+pub const STORE_MAGIC: [u8; 4] = *b"SWST";
+
+/// Record format version.
+pub const STORE_VERSION: u8 = 1;
+
+/// Process-wide counter that keeps temp names unique even when several
+/// writers (or stores) target one directory.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// then rename. Readers of `path` see either the old content or the new,
+/// never a torn write. Used by the store and by every JSON artifact the
+/// experiments driver emits.
+///
+/// # Errors
+///
+/// Any underlying filesystem error; the temp file is removed best-effort
+/// on failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let file = path
+        .file_name()
+        .map(|f| f.to_string_lossy())
+        .unwrap_or_default();
+    path.with_file_name(format!(".{file}.{}.{seq}.tmp", std::process::id()))
+}
+
+/// Outcome of a store lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// A valid record was found.
+    Hit(LoopOk),
+    /// No record under this key.
+    Miss,
+    /// A record existed but failed validation; it has been removed and
+    /// the caller recompiles.
+    Corrupt,
+}
+
+/// Counters a store accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered by a valid record.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found garbage and recovered by deletion.
+    pub corrupt_recovered: u64,
+    /// Records persisted by this store instance.
+    pub persisted: u64,
+}
+
+/// A content-addressed on-disk result store keyed by the schedule
+/// cache's compile key. All methods take `&self`; concurrent use from
+/// many handler threads is safe because every write is atomic and every
+/// read validates.
+pub struct DiskStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    persisted: AtomicU64,
+    /// Chaos hook: when set, `persist` writes the temp file and then
+    /// fails *without renaming* — the observable effect of a process
+    /// crash between the two steps.
+    pub fail_persist_after_tmp: AtomicBool,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `dir`, sweeping any
+    /// temp files a crashed predecessor left behind.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error.
+    pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(DiskStore {
+            dir: dir.to_owned(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
+            fail_persist_after_tmp: AtomicBool::new(false),
+        })
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the record for `key`.
+    pub fn record_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.rec"))
+    }
+
+    /// Look up `key`. Corrupt records are deleted on the spot (so the
+    /// next lookup is a plain miss) and counted both locally and on the
+    /// ambient telemetry collector.
+    pub fn load(&self, key: u64) -> Lookup {
+        let path = self.record_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss;
+            }
+            // Unreadable is indistinguishable from corrupt for our
+            // purposes: recompile.
+            Err(_) => return self.corrupt(&path),
+        };
+        match parse_record(&bytes, key) {
+            Some(ok) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                swp_obs::count(swp_obs::Counter::ServeStoreHits, 1);
+                Lookup::Hit(ok)
+            }
+            None => self.corrupt(&path),
+        }
+    }
+
+    fn corrupt(&self, path: &Path) -> Lookup {
+        let _ = fs::remove_file(path);
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        swp_obs::count(swp_obs::Counter::ServeStoreCorruptRecovered, 1);
+        Lookup::Corrupt
+    }
+
+    /// Persist `ok` under `key`. Last writer wins; concurrent writers of
+    /// the same key write identical content (results are deterministic),
+    /// so the race is harmless.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem error — including the simulated crash
+    /// when [`Self::fail_persist_after_tmp`] is set. Persist errors are
+    /// non-fatal to the service: the reply was already computed.
+    pub fn persist(&self, key: u64, ok: &LoopOk) -> io::Result<()> {
+        let payload = encode_result(ok);
+        let mut record = Vec::with_capacity(payload.len() + 25);
+        record.extend_from_slice(&STORE_MAGIC);
+        record.push(STORE_VERSION);
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        let path = self.record_path(key);
+        if self.fail_persist_after_tmp.load(Ordering::Relaxed) {
+            // Simulated crash between the write and the rename: the temp
+            // file exists, the record name does not.
+            fs::write(tmp_sibling(&path), &record)?;
+            return Err(io::Error::other("chaos: crashed before rename"));
+        }
+        write_atomic(&path, &record)?;
+        self.persisted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether a record file exists for `key` (no validation).
+    pub fn contains(&self, key: u64) -> bool {
+        self.record_path(key).exists()
+    }
+
+    /// Number of record files currently on disk.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".rec"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt_recovered: self.corrupt.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Validate and decode one record. `None` means corrupt — any framing,
+/// key, length, checksum, or payload defect.
+fn parse_record(bytes: &[u8], key: u64) -> Option<LoopOk> {
+    if bytes.len() < 25 || bytes[..4] != STORE_MAGIC || bytes[4] != STORE_VERSION {
+        return None;
+    }
+    let rec_key = u64::from_le_bytes(bytes[5..13].try_into().ok()?);
+    if rec_key != key {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[13..17].try_into().ok()?) as usize;
+    if bytes.len() != 17 + len + 8 {
+        return None;
+    }
+    let payload = &bytes[17..17 + len];
+    let sum = u64::from_le_bytes(bytes[17 + len..].try_into().ok()?);
+    if fnv1a(payload) != sum {
+        return None;
+    }
+    decode_result(payload).ok()
+}

@@ -1,0 +1,241 @@
+//! End-to-end service tests over a real Unix socket: basic batch
+//! compilation, the kill-and-restart warm-hit guarantee, and overload
+//! behavior (degrade, never reject). Scheduler choice is mostly the
+//! heuristic so the suite stays fast in debug builds; the chaos sweep
+//! (`experiments serve-chaos`) exercises the full ladder in release.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use showdown::{OptLevel, VerifyLevel};
+use swp_machine::Machine;
+use swp_serve::{
+    AdmissionOptions, Client, LoopOk, RequestBatch, Server, ServerHandle, ServerOptions, WireChoice,
+};
+
+fn fresh_root(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "swp-e2e-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(tag: &str, root: &Path, admission: AdmissionOptions) -> ServerHandle {
+    let mut opts = ServerOptions::at(
+        std::env::temp_dir().join(format!("swp-e2e-{}-{tag}.sock", std::process::id())),
+    );
+    opts.store_dir = Some(root.join("store"));
+    opts.admission = admission;
+    Server::start(Machine::r8000(), opts).expect("server start")
+}
+
+fn heur_request(batch_id: u64, client: &str, n_loops: usize) -> RequestBatch {
+    RequestBatch {
+        batch_id,
+        client: client.to_owned(),
+        deadline_ms: 0,
+        choice: WireChoice::Heuristic,
+        opt: OptLevel::Off,
+        verify: VerifyLevel::Off,
+        loops: swp_kernels::livermore()
+            .into_iter()
+            .take(n_loops)
+            .map(|k| k.body)
+            .collect(),
+    }
+}
+
+fn compile(server: &ServerHandle, req: &RequestBatch) -> Vec<(String, LoopOk)> {
+    let mut client = Client::connect(server.socket()).expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(120))
+        .expect("timeout");
+    let resp = client.compile_batch(req).expect("batch");
+    assert_eq!(resp.batch_id, req.batch_id);
+    resp.results
+        .into_iter()
+        .map(|r| {
+            let name = r.name.clone();
+            (
+                name,
+                r.outcome.unwrap_or_else(|e| panic!("{}: {e}", r.name)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn batch_compile_end_to_end() {
+    let root = fresh_root("basic");
+    let server = start_server("basic", &root, AdmissionOptions::default());
+    let req = heur_request(77, "it", 3);
+    let results = compile(&server, &req);
+    assert_eq!(results.len(), 3);
+    for ((name, ok), lp) in results.iter().zip(&req.loops) {
+        assert_eq!(name, lp.name());
+        assert!(ok.ii >= 1, "ii is populated");
+        assert!(ok.code_fp != 0);
+        assert_eq!(ok.demotion, 0);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.demoted, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn kill_and_restart_serves_warm_from_disk_bit_identically() {
+    let root = fresh_root("restart");
+    let req = heur_request(1, "it", 3);
+    let cold = {
+        let server = start_server("restart", &root, AdmissionOptions::default());
+        let results = compile(&server, &req);
+        let stats = server.stats();
+        assert!(stats.store.persisted >= 3, "{stats:?}");
+        assert_eq!(stats.store.hits, 0);
+        results
+        // Server dropped here: the "kill".
+    };
+    // A new server on the same store: the memory cache is empty, so
+    // every answer must come from disk — and be bit-identical.
+    let server = start_server("restart", &root, AdmissionOptions::default());
+    let warm = compile(&server, &req);
+    let stats = server.stats();
+    assert_eq!(cold, warm, "disk-served results differ from cold compiles");
+    assert!(
+        stats.store.hits >= 3,
+        "no disk hits after restart: {stats:?}"
+    );
+    assert_eq!(
+        stats.cache.misses, 0,
+        "restart recompiled instead of loading"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn overload_demotes_but_never_rejects() {
+    let root = fresh_root("overload");
+    // soft_inflight 0 is a standing-degradation policy: every admission
+    // sees load at or above the soft threshold and demotes. That makes
+    // the demote-don't-reject plumbing deterministic here regardless of
+    // how the client threads interleave; the genuinely concurrent burst
+    // (timing-dependent by nature) lives in the chaos sweep.
+    let server = start_server(
+        "overload",
+        &root,
+        AdmissionOptions {
+            max_inflight: 2,
+            soft_inflight: 0,
+            heavy_inflight: 2,
+            ..AdmissionOptions::default()
+        },
+    );
+    let clients = 6;
+    let per_client = 3;
+    let answered: usize = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let server = &server;
+                scope.spawn(move || {
+                    let req = heur_request(c as u64, &format!("c{c}"), per_client);
+                    compile(server, &req).len()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .sum()
+    });
+    assert_eq!(answered, clients * per_client, "a request was dropped");
+    let stats = server.stats();
+    assert_eq!(stats.admitted as usize, clients * per_client);
+    assert!(stats.demoted > 0, "burst produced no demotions: {stats:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn ladder_replies_carry_rung_and_diagnostics() {
+    // One tiny loop through the full ladder (quick deterministic
+    // budgets), checking the service surfaces rung + attempt trace.
+    let root = fresh_root("ladder");
+    let server = start_server("ladder", &root, AdmissionOptions::default());
+    let req = RequestBatch {
+        batch_id: 9,
+        client: "it".into(),
+        deadline_ms: 0,
+        choice: WireChoice::Ladder,
+        opt: OptLevel::Off,
+        verify: VerifyLevel::Off,
+        loops: vec![swp_kernels::random_loop(
+            &swp_kernels::GenParams {
+                ops: 6,
+                mem_fraction: 0.3,
+                recurrences: 1,
+                div_fraction: 0.0,
+            },
+            11,
+        )],
+    };
+    let results = compile(&server, &req);
+    let (_, ok) = &results[0];
+    assert!(ok.rung.is_some(), "ladder compile reported no rung");
+    assert!(
+        !ok.diagnostics.is_empty(),
+        "ladder compile carried no attempt trace"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn demoted_requests_never_alias_full_effort_store_entries() {
+    // Compile the same loop once demoted (tiny budget client) and once
+    // at full effort: the disk store must hold two distinct records.
+    let root = fresh_root("alias");
+    let server = start_server(
+        "alias",
+        &root,
+        AdmissionOptions {
+            // Exactly one full-effort compile's worth of tokens, never
+            // refilled: request 1 runs at full effort, request 2 demotes.
+            bucket_capacity: 4,
+            full_cost: 4,
+            demoted_cost: 1,
+            refill_per_completion: 0,
+            ..AdmissionOptions::default()
+        },
+    );
+    let lp = swp_kernels::random_loop(
+        &swp_kernels::GenParams {
+            ops: 6,
+            mem_fraction: 0.3,
+            recurrences: 1,
+            div_fraction: 0.0,
+        },
+        13,
+    );
+    let mk = |id: u64| RequestBatch {
+        batch_id: id,
+        client: "alias".into(),
+        deadline_ms: 0,
+        choice: WireChoice::Ladder,
+        opt: OptLevel::Off,
+        verify: VerifyLevel::Off,
+        loops: vec![lp.clone()],
+    };
+    let first = compile(&server, &mk(1));
+    assert_eq!(first[0].1.demotion, 0, "first request was demoted");
+    let second = compile(&server, &mk(2));
+    assert!(second[0].1.demotion > 0, "drained bucket did not demote");
+    let stats = server.stats();
+    assert!(
+        stats.store.persisted >= 2,
+        "demoted and full-effort compiles shared a store record: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,178 @@
+//! Disk-store crash-recovery properties: any truncation or bit flip of
+//! a persisted record is detected on load, recovered by deletion, and
+//! the recompiled result is bit-identical to what a cold compile
+//! produces — with no panic anywhere on the path.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+use proptest::prelude::*;
+use swp_serve::proto::LoopOk;
+use swp_serve::store::{write_atomic, DiskStore, Lookup};
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn sample_ok(g: &mut Gen) -> LoopOk {
+    LoopOk {
+        rung: Some(g.below(4) as u8),
+        demotion: 0,
+        ii: 1 + g.below(20) as u32,
+        min_ii: 1 + g.below(20) as u32,
+        optimal: g.below(2) == 0,
+        fell_back: false,
+        spills: g.below(4) as u32,
+        search_effort: g.below(100_000),
+        pivots: g.below(1_000_000),
+        code_fp: g.next(),
+        diagnostics: vec!["ilp: accepted".into()],
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "swp-store-test-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncate a record at every possible length or flip any bit:
+    /// `load` must report `Corrupt` (never a wrong `Hit`, never a
+    /// panic), delete the record, and a re-persist must fully recover.
+    #[test]
+    fn corrupted_records_always_recover(seed in 0u64..1_000_000) {
+        let mut g = Gen(seed);
+        let dir = fresh_dir("prop");
+        let store = DiskStore::open(&dir).expect("open");
+        let key = g.next();
+        let ok = sample_ok(&mut g);
+        store.persist(key, &ok).expect("persist");
+        let path = store.record_path(key);
+        let original = fs::read(&path).expect("read record");
+
+        // Corrupt: either truncate at a random point or flip a bit.
+        let corrupted = if g.below(2) == 0 {
+            let cut = g.below(original.len() as u64) as usize;
+            original[..cut].to_vec()
+        } else {
+            let mut c = original.clone();
+            let pos = g.below(c.len() as u64) as usize;
+            c[pos] ^= 1 << g.below(8);
+            c
+        };
+        let changed = corrupted != original;
+        fs::write(&path, &corrupted).expect("write corruption");
+
+        match store.load(key) {
+            Lookup::Hit(back) => {
+                // Only acceptable if the corruption was a no-op.
+                prop_assert!(!changed, "corrupt record served as a hit");
+                prop_assert_eq!(back, ok.clone());
+            }
+            Lookup::Corrupt => {
+                prop_assert!(changed);
+                // The record was deleted: next lookup is a clean miss.
+                prop_assert_eq!(store.load(key), Lookup::Miss);
+                // Recovery: re-persist (the "recompile") and get the
+                // exact original back.
+                store.persist(key, &ok).expect("re-persist");
+                prop_assert_eq!(store.load(key), Lookup::Hit(ok.clone()));
+            }
+            Lookup::Miss => prop_assert!(false, "record vanished"),
+        }
+        prop_assert!(store.stats().corrupt_recovered <= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A record stored under one key must never be served for another:
+    /// the embedded key check catches renamed/cross-linked files.
+    #[test]
+    fn records_cannot_be_replayed_under_another_key(seed in 0u64..1_000_000) {
+        let mut g = Gen(seed);
+        let dir = fresh_dir("replay");
+        let store = DiskStore::open(&dir).expect("open");
+        let key_a = g.next();
+        let key_b = key_a ^ (1 + g.below(u64::MAX - 1));
+        let ok = sample_ok(&mut g);
+        store.persist(key_a, &ok).expect("persist");
+        // Move A's record to B's name (an attacker or a backup-restore
+        // mishap could do this).
+        fs::rename(store.record_path(key_a), store.record_path(key_b)).expect("rename");
+        prop_assert_eq!(store.load(key_b), Lookup::Corrupt);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn open_sweeps_stale_temp_files() {
+    let dir = fresh_dir("sweep");
+    fs::create_dir_all(&dir).expect("mkdir");
+    fs::write(dir.join(".deadbeef.rec.123.0.tmp"), b"half a record").expect("tmp");
+    fs::write(dir.join("not-a-record.txt"), b"keep me").expect("other");
+    let store = DiskStore::open(&dir).expect("open");
+    let names: Vec<String> = fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.iter().all(|n| !n.ends_with(".tmp")), "{names:?}");
+    assert!(names.iter().any(|n| n == "not-a-record.txt"));
+    assert!(store.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulated_crash_leaves_no_record_and_restart_recovers() {
+    let dir = fresh_dir("crash");
+    let store = DiskStore::open(&dir).expect("open");
+    store.fail_persist_after_tmp.store(true, Ordering::Relaxed);
+    let ok = sample_ok(&mut Gen(42));
+    assert!(store.persist(7, &ok).is_err());
+    assert_eq!(store.load(7), Lookup::Miss);
+    assert_eq!(store.len(), 0);
+    // Restart: open again, debris swept, persistence works.
+    drop(store);
+    let store = DiskStore::open(&dir).expect("reopen");
+    store.persist(7, &ok).expect("persist after restart");
+    assert_eq!(store.load(7), Lookup::Hit(ok));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn write_atomic_replaces_content_completely() {
+    let dir = fresh_dir("atomic");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("artifact.json");
+    write_atomic(&path, b"{\"v\":1}").expect("first write");
+    write_atomic(&path, b"{\"v\":2,\"longer\":true}").expect("second write");
+    assert_eq!(fs::read(&path).expect("read"), b"{\"v\":2,\"longer\":true}");
+    // No temp debris left behind.
+    let stray = fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .count();
+    assert_eq!(stray, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
