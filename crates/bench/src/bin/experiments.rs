@@ -8,8 +8,8 @@
 //!
 //! Subcommands: `fig2 fig3 fig4 fig5 fig6 fig7 compile-speed loop-size
 //! ii-compare solver ablation-order ablation-iisearch ablation-spill
-//! speedup all audit chaos profile bench opt serve-bench serve-chaos
-//! serve-smoke`.
+//! speedup all audit chaos portfolio profile bench opt serve-bench
+//! serve-chaos serve-smoke`.
 //!
 //! `opt` (not part of `all`) runs every suite loop (plus the Livermore
 //! kernels) through the mid-end pass pipeline, translation-validating
@@ -29,6 +29,15 @@
 //! containment table; with `-D` any containment violation (an escaped
 //! fault, an unrescued loop, an unstructured crash) exits nonzero, which
 //! is how CI proves the ladder catches what it claims.
+//!
+//! `portfolio` (not part of `all`) races ILP, SAT, and the heuristic on
+//! every figure suite plus the Livermore kernels under the quick
+//! deterministic budgets, printing per-backend win counts, SAT-vs-ILP
+//! II parity, and standalone-vs-raced wall clocks; with `-D` a violated
+//! floor (SAT below 20/24 Livermore II matches, any determinism
+//! violation, a race slower than the slowest backend plus dispatch
+//! overhead) exits nonzero, which is how CI holds the third backend and
+//! the racing layer to their claims.
 //!
 //! `solver` (not part of `all`) prints MOST's deterministic node/pivot
 //! work counters over the Livermore kernels; with `--gate` it exits
@@ -76,7 +85,8 @@ use swp_bench::{
     ablation_ii_search, ablation_order, ablation_spill, audit_with, chaos_rung_usage,
     chaos_scenarios, chaos_with, compile_speed, driver_speedup, fig2_geomean, fig2_with, fig3_with,
     fig4_with, fig5_with, fig6_fig7_with, ii_compare_with, loop_size, opt_gate, opt_with,
-    perf_snapshot, profile_workload, solver_gate, solver_speed, Effort,
+    perf_snapshot, portfolio_sweep, portfolio_wall_gate, profile_workload, solver_gate,
+    solver_speed, Effort,
 };
 use swp_heur::PriorityHeuristic;
 use swp_machine::Machine;
@@ -470,14 +480,14 @@ fn main() {
         showdown::hush_injected_panics();
         println!("== Chaos: fault injection vs the degradation ladder, every suite ==");
         println!(
-            "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>11}",
-            "scenario", "loops", "r0", "r1", "r2", "r3", "quar", "escapes", "violations"
+            "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>11}",
+            "scenario", "loops", "r0", "r1", "r2", "r3", "r4", "quar", "escapes", "violations"
         );
         let rows = chaos_with(&driver, &m, effort);
         let mut total_violations = 0usize;
         for sc in &chaos_scenarios() {
             let (mut loops, mut quar, mut escapes, mut violations) = (0usize, 0, 0, 0);
-            let mut usage = [0usize; 4];
+            let mut usage = [0usize; 5];
             for r in rows.iter().filter(|r| r.scenario == sc.name) {
                 loops += r.suite.loops.len();
                 for (u, n) in usage.iter_mut().zip(r.suite.rung_usage()) {
@@ -489,8 +499,17 @@ fn main() {
             }
             total_violations += violations;
             println!(
-                "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>11}",
-                sc.name, loops, usage[0], usage[1], usage[2], usage[3], quar, escapes, violations
+                "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>11}",
+                sc.name,
+                loops,
+                usage[0],
+                usage[1],
+                usage[2],
+                usage[3],
+                usage[4],
+                quar,
+                escapes,
+                violations
             );
         }
         for r in rows.iter().filter(|r| r.violations() > 0) {
@@ -511,11 +530,67 @@ fn main() {
         }
         let usage = chaos_rung_usage(&rows);
         println!(
-            "control rung usage (no faults): ilp={} heuristic={} escalated={} sequential={}",
-            usage[0], usage[1], usage[2], usage[3]
+            "control rung usage (no faults): ilp={} sat={} heuristic={} escalated={} sequential={}",
+            usage[0], usage[1], usage[2], usage[3], usage[4]
         );
         println!("total containment violations: {total_violations}");
         if deny && total_violations > 0 {
+            std::process::exit(1);
+        }
+    }
+
+    if cmd == "portfolio" {
+        let deny = args.iter().any(|a| a == "-D" || a == "--deny");
+        println!("== Portfolio: ILP vs SAT vs heuristic, raced per loop ==");
+        println!(
+            "{:<12} {:>5} {:>4} {:>4} {:>4} {:>4} {:>7} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "suite",
+            "loops",
+            "ilp",
+            "sat",
+            "heur",
+            "none",
+            "sat=ilp",
+            "viols",
+            "race(ms)",
+            "ilp(ms)",
+            "sat(ms)",
+            "heur(ms)"
+        );
+        let rows = portfolio_sweep(&m);
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        for r in &rows {
+            println!(
+                "{:<12} {:>5} {:>4} {:>4} {:>4} {:>4} {:>3}/{:<3} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                r.name,
+                r.loops,
+                r.ilp_wins,
+                r.sat_wins,
+                r.heur_wins,
+                r.no_winner,
+                r.sat_ii_matches,
+                r.both_optimal,
+                r.determinism_violations,
+                ms(r.portfolio_wall),
+                ms(r.ilp_wall),
+                ms(r.sat_wall),
+                ms(r.heur_wall)
+            );
+        }
+        let violations: usize = rows.iter().map(|r| r.determinism_violations).sum();
+        let livermore = rows
+            .iter()
+            .find(|r| r.name == "livermore")
+            .expect("sweep always includes the kernels");
+        let wall_ok = portfolio_wall_gate(&rows);
+        println!(
+            "gates: livermore sat=ilp {}/{} (floor 20), determinism violations {violations} \
+             (floor 0), wall-vs-slowest-backend {}",
+            livermore.sat_ii_matches,
+            livermore.both_optimal,
+            if wall_ok { "ok" } else { "FAIL" }
+        );
+        if deny && (livermore.sat_ii_matches < 20 || violations > 0 || !wall_ok) {
             std::process::exit(1);
         }
     }

@@ -16,6 +16,7 @@ use swp_kernels::{livermore, spec_suites, GenParams, Suite, WeightedLoop};
 use swp_machine::Machine;
 use swp_most::MostOptions;
 use swp_obs::{Counter, Telemetry};
+use swp_sat::SatOptions;
 
 /// Experiment sizing: `quick` shrinks ILP budgets and trip counts so the
 /// whole harness runs in CI time; `full` uses paper-scale settings.
@@ -56,6 +57,29 @@ impl Effort {
                 time_limit: Some(Duration::from_secs(10)),
                 loop_time_limit: Some(Duration::from_secs(120)),
                 ..MostOptions::default()
+            },
+        }
+    }
+
+    /// SAT options for this effort level, same determinism contract as
+    /// [`Effort::most_options`]: `Quick` is conflict/propagation-counted
+    /// only, `Full` keeps wall clocks.
+    pub fn sat_options(self) -> SatOptions {
+        match self {
+            Effort::Quick => SatOptions {
+                conflict_limit: 20_000,
+                propagation_limit: 2_000_000,
+                time_limit: None,
+                loop_time_limit: None,
+                loop_conflict_limit: Some(60_000),
+                max_ops: 64,
+                ..SatOptions::default()
+            },
+            Effort::Full => SatOptions {
+                conflict_limit: 2_000_000,
+                time_limit: Some(Duration::from_secs(10)),
+                loop_time_limit: Some(Duration::from_secs(120)),
+                ..SatOptions::default()
             },
         }
     }
@@ -698,12 +722,12 @@ pub struct ChaosScenario {
 }
 
 /// The committed scenario set behind `experiments chaos`: a quiet
-/// control, then every fault class injected at every upper rung. Rung 3
+/// control, then every fault class injected at every upper rung. Rung 4
 /// is never injected — it is the rescue anchor whose totality all other
 /// scenarios lean on, and corrupting the anchor would only prove that a
 /// broken compiler is broken.
 pub fn chaos_scenarios() -> Vec<ChaosScenario> {
-    let upper = [Rung::Ilp, Rung::Heuristic, Rung::Escalated];
+    let upper = [Rung::Ilp, Rung::Sat, Rung::Heuristic, Rung::Escalated];
     let everywhere = |fault: ChaosFault| {
         upper
             .iter()
@@ -716,27 +740,28 @@ pub fn chaos_scenarios() -> Vec<ChaosScenario> {
             expect_quarantine: false,
         },
         ChaosScenario {
-            name: "panic@0-2",
+            name: "panic@0-3",
             chaos: everywhere(ChaosFault::Panic),
             expect_quarantine: false,
         },
         ChaosScenario {
-            name: "exhaust@0-2",
+            name: "exhaust@0-3",
             chaos: everywhere(ChaosFault::Exhaust),
             expect_quarantine: false,
         },
         ChaosScenario {
-            name: "corrupt-time@0-2",
+            name: "corrupt-time@0-3",
             chaos: everywhere(ChaosFault::Corrupt(Corruption::NegativeTime)),
             expect_quarantine: false,
         },
         ChaosScenario {
-            name: "corrupt-mix@0-1",
+            name: "corrupt-mix@0-2",
             chaos: ChaosOptions::default()
                 .with_fault(
                     Rung::Ilp,
                     ChaosFault::Corrupt(Corruption::ClobberedRegister),
                 )
+                .with_fault(Rung::Sat, ChaosFault::Corrupt(Corruption::NegativeTime))
                 .with_fault(
                     Rung::Heuristic,
                     ChaosFault::Corrupt(Corruption::TamperedExpansion),
@@ -808,6 +833,7 @@ pub fn chaos_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<Cha
         let inner = driver.sequential_view();
         let opts = LadderOptions {
             most: effort.most_options(),
+            sat: effort.sat_options(),
             chaos: scenario.chaos.clone(),
             ..LadderOptions::default()
         };
@@ -821,14 +847,166 @@ pub fn chaos_with(driver: &Driver, machine: &Machine, effort: Effort) -> Vec<Cha
 
 /// Rung usage summed over the control (fault-free) rows — the
 /// EXPERIMENTS.md rung-usage table, indexed by [`Rung::index`].
-pub fn chaos_rung_usage(rows: &[ChaosRow]) -> [usize; 4] {
-    let mut usage = [0usize; 4];
+pub fn chaos_rung_usage(rows: &[ChaosRow]) -> [usize; 5] {
+    let mut usage = [0usize; 5];
     for r in rows.iter().filter(|r| r.scenario == "control") {
         for (u, n) in usage.iter_mut().zip(r.suite.rung_usage()) {
             *u += n;
         }
     }
     usage
+}
+
+/// One row of the `experiments portfolio` table: one suite (or the
+/// Livermore kernel set) raced loop-by-loop, with every backend also
+/// timed standalone under the same deterministic quick budgets.
+#[derive(Debug, Clone)]
+pub struct PortfolioRow {
+    /// Suite name (`livermore` is the kernel set).
+    pub name: String,
+    /// Loops raced.
+    pub loops: usize,
+    /// Races the ILP backend won (highest priority).
+    pub ilp_wins: usize,
+    /// Races the SAT backend won (ILP failed within budget).
+    pub sat_wins: usize,
+    /// Races the heuristic won (both optimal backends failed).
+    pub heur_wins: usize,
+    /// Races every backend lost (portfolio error).
+    pub no_winner: usize,
+    /// Loops where both optimal backends succeeded standalone *and* SAT
+    /// achieved ILP's II — the optimality-parity tally.
+    pub sat_ii_matches: usize,
+    /// Loops where both optimal backends succeeded standalone.
+    pub both_optimal: usize,
+    /// Races whose shipped code differed from the standalone result of
+    /// the backend that should win by fixed priority. Must be zero: the
+    /// race is deterministic by construction.
+    pub determinism_violations: usize,
+    /// Wall time of the races.
+    pub portfolio_wall: Duration,
+    /// Standalone wall time, ILP backend (no fallback).
+    pub ilp_wall: Duration,
+    /// Standalone wall time, SAT backend (no fallback).
+    pub sat_wall: Duration,
+    /// Standalone wall time, heuristic backend.
+    pub heur_wall: Duration,
+}
+
+/// The `experiments portfolio` sweep: every SPEC-like figure suite plus
+/// the Livermore kernels, each loop compiled four ways under the quick
+/// deterministic budgets — each backend standalone (fallbacks off, so a
+/// backend's failure is its own), then the three-way race. Standalone
+/// compiles run sequentially and uncached so the wall clocks mean
+/// something; the race's parallelism is internal to [`showdown::compile_portfolio`].
+pub fn portfolio_sweep(machine: &Machine) -> Vec<PortfolioRow> {
+    let driver = Driver::uncached(1);
+    let mut sweeps: Vec<(String, Vec<swp_ir::Loop>)> = vec![(
+        "livermore".into(),
+        livermore().into_iter().map(|k| k.body).collect(),
+    )];
+    sweeps.extend(spec_suites().into_iter().map(|s| {
+        (
+            s.name.to_string(),
+            s.loops.into_iter().map(|l| l.body).collect(),
+        )
+    }));
+
+    let options = |choice: SchedulerChoice| CompileOptions {
+        choice,
+        verify: VerifyLevel::Off,
+        opt: OptLevel::Off,
+        telemetry: Telemetry::disabled(),
+    };
+    let race = SchedulerChoice::PortfolioWith(Box::new(showdown::PortfolioOptions {
+        most: Effort::Quick.most_options(),
+        sat: Effort::Quick.sat_options(),
+        ..showdown::PortfolioOptions::default()
+    }));
+
+    sweeps
+        .into_iter()
+        .map(|(name, loops)| {
+            let mut row = PortfolioRow {
+                name,
+                loops: loops.len(),
+                ilp_wins: 0,
+                sat_wins: 0,
+                heur_wins: 0,
+                no_winner: 0,
+                sat_ii_matches: 0,
+                both_optimal: 0,
+                determinism_violations: 0,
+                portfolio_wall: Duration::ZERO,
+                ilp_wall: Duration::ZERO,
+                sat_wall: Duration::ZERO,
+                heur_wall: Duration::ZERO,
+            };
+            for lp in &loops {
+                let mut timed =
+                    |choice: SchedulerChoice, wall: fn(&mut PortfolioRow) -> &mut Duration| {
+                        let t0 = Instant::now();
+                        let r = driver.compile_with(lp, machine, &options(choice));
+                        *wall(&mut row) += t0.elapsed();
+                        r
+                    };
+                let ilp = timed(
+                    SchedulerChoice::IlpWith(Effort::Quick.most_options().without_fallback()),
+                    |r| &mut r.ilp_wall,
+                );
+                let sat = timed(
+                    SchedulerChoice::SatWith(Effort::Quick.sat_options().without_fallback()),
+                    |r| &mut r.sat_wall,
+                );
+                let heur = timed(SchedulerChoice::Heuristic, |r| &mut r.heur_wall);
+                let raced = timed(race.clone(), |r| &mut r.portfolio_wall);
+
+                if let (Ok(i), Ok(s)) = (&ilp, &sat) {
+                    row.both_optimal += 1;
+                    row.sat_ii_matches += usize::from(s.stats.ii == i.stats.ii);
+                }
+                // The backend that must win: highest fixed priority whose
+                // standalone run succeeded. The race must ship its code.
+                let expected = [
+                    (&ilp, showdown::Rung::Ilp),
+                    (&sat, showdown::Rung::Sat),
+                    (&heur, showdown::Rung::Heuristic),
+                ]
+                .into_iter()
+                .find_map(|(r, rung)| r.as_ref().ok().map(|c| (c, rung)));
+                match (&raced, expected) {
+                    (Ok(p), Some((standalone, rung))) => {
+                        match rung {
+                            showdown::Rung::Ilp => row.ilp_wins += 1,
+                            showdown::Rung::Sat => row.sat_wins += 1,
+                            _ => row.heur_wins += 1,
+                        }
+                        if p.rung != Some(rung) || p.code != standalone.code {
+                            row.determinism_violations += 1;
+                        }
+                    }
+                    (Err(_), None) => row.no_winner += 1,
+                    // A race that disagrees with the standalone runs about
+                    // whether the loop compiles at all is also a violation.
+                    _ => row.determinism_violations += 1,
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// The `experiments portfolio -D` wall gate: racing three backends in
+/// parallel must cost about as much wall time as the slowest backend
+/// alone — never the sum of all three. The 50% + 500ms allowance
+/// absorbs racer spawn/join and scheduler jitter on loaded CI hosts.
+pub fn portfolio_wall_gate(rows: &[PortfolioRow]) -> bool {
+    let raced: Duration = rows.iter().map(|r| r.portfolio_wall).sum();
+    let slowest: Duration = rows
+        .iter()
+        .map(|r| r.ilp_wall.max(r.sat_wall).max(r.heur_wall))
+        .sum();
+    raced <= slowest.mul_f64(1.5) + Duration::from_millis(500)
 }
 
 /// One row of the `experiments solver` table: one Livermore kernel solved
@@ -1483,9 +1661,16 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
         max_ops,
         ..MostOptions::default()
     };
+    // `max_ops` handicaps ILP *and* SAT together: the escape recipe
+    // needs both optimal rungs out of the way so the corrupted
+    // heuristic schedule is what ships past the disabled gate.
     let ladder = |chaos: ChaosOptions, gate: VerifyLevel, max_ops: usize| CompileOptions {
         choice: SchedulerChoice::LadderWith(Box::new(LadderOptions {
             most: quick_most(max_ops),
+            sat: SatOptions {
+                max_ops,
+                ..Effort::Quick.sat_options()
+            },
             gate,
             chaos,
             escalation_rounds: 2,
@@ -1547,6 +1732,65 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
     let _ = swp_most::pipeline_most(&kernels[0].body, machine, &quick_most(1));
     loops += 1;
 
+    // The SAT backend over the Livermore kernels: II steps, decisions,
+    // propagations; the resource-starved restart loop drives enough
+    // conflicts (and learned clauses) through one solve to cross the
+    // Luby restart threshold.
+    let sat = CompileOptions {
+        choice: SchedulerChoice::SatWith(Effort::Quick.sat_options()),
+        verify: VerifyLevel::Off,
+        opt: OptLevel::Off,
+        telemetry: telemetry.clone(),
+    };
+    for k in &kernels {
+        let _ = driver.compile_with(&k.body, machine, &sat);
+        loops += 1;
+    }
+    let _ = driver.compile_with(&sat_restart_loop(), machine, &sat);
+    loops += 1;
+
+    // A zero work budget turns the SAT compile into its fallback.
+    let _ = swp_sat::pipeline_sat(
+        &kernels[0].body,
+        machine,
+        &SatOptions {
+            conflict_limit: 0,
+            propagation_limit: 0,
+            ..Effort::Quick.sat_options()
+        },
+    );
+    loops += 1;
+
+    // Portfolio races with backend subsets, so every winner counter
+    // fires: the full race (ILP outranks everyone), an `max_ops: 0`
+    // handicap that disqualifies ILP (SAT wins), and a heuristic-only
+    // field. Racer threads are collector-free by design; the race
+    // counters land here because the calling thread keeps the handle.
+    let race = |use_ilp: bool, use_sat: bool, most_max_ops: usize| CompileOptions {
+        choice: SchedulerChoice::PortfolioWith(Box::new(showdown::PortfolioOptions {
+            use_ilp,
+            use_sat,
+            use_heur: true,
+            most: MostOptions {
+                max_ops: most_max_ops,
+                ..Effort::Quick.most_options()
+            },
+            sat: Effort::Quick.sat_options(),
+            ..showdown::PortfolioOptions::default()
+        })),
+        verify: VerifyLevel::Off,
+        opt: OptLevel::Off,
+        telemetry: telemetry.clone(),
+    };
+    for options in [
+        race(true, true, 64),
+        race(true, true, 0),
+        race(false, false, 64),
+    ] {
+        let _ = driver.compile_with(&kernels[0].body, machine, &options);
+        loops += 1;
+    }
+
     // The mid-end pass pipeline: purpose-built loops that make every
     // `opt.*` Exact counter fire (one loop exercising fold, simplify,
     // strength, GVN, and DCE; one pure reduction for re-association).
@@ -1592,6 +1836,23 @@ pub fn profile_workload(machine: &Machine, threads: usize) -> ProfileReport {
         loops,
         cache: driver.cache_stats(),
     }
+}
+
+/// A loop whose MinII is scheduling-infeasible under heavy resource
+/// contention, so the SAT solver must grind through UNSAT proofs — and
+/// enough conflicts in one solve to cross the Luby restart threshold
+/// (64 conflicts) — before landing on the achieved II. Deterministic:
+/// `random_loop` is seeded, so [`Counter::SatRestarts`] always fires.
+pub fn sat_restart_loop() -> swp_ir::Loop {
+    swp_kernels::random_loop(
+        &GenParams {
+            ops: 32,
+            mem_fraction: 0.45,
+            recurrences: 2,
+            div_fraction: 0.15,
+        },
+        8,
+    )
 }
 
 /// Loops that jointly exercise every mid-end pass: constant folding
@@ -1835,7 +2096,7 @@ mod tests {
                 .map(|r| r.suite.loops.len())
                 .sum()
         );
-        assert_eq!(usage[3], 0, "no quiet loop should need the sequential rung");
+        assert_eq!(usage[4], 0, "no quiet loop should need the sequential rung");
     }
 
     #[test]

@@ -42,10 +42,12 @@ use crate::compile::{
     compile_loop_with, CompileError, CompileOptions, CompiledLoop, SchedulerChoice,
 };
 use crate::ladder::{ChaosFault, ChaosOptions, Corruption, LadderOptions};
+use crate::portfolio::PortfolioOptions;
 use swp_heur::HeurOptions;
 use swp_ir::{Loop, OptLevel};
 use swp_machine::{Machine, RegClass};
 use swp_most::MostOptions;
+use swp_sat::SatOptions;
 use swp_verify::VerifyLevel;
 
 /// FNV-1a, with explicit length prefixes where variable-length data is
@@ -184,6 +186,38 @@ fn fold_most_options(h: &mut StableHasher, opts: &MostOptions) {
     h.u64(opts.max_ops as u64);
 }
 
+/// Every deterministic SAT knob; the cancel token is deliberately
+/// excluded (like telemetry, cancellation cannot change what a
+/// *completed* compile produced, and truncated results are never
+/// memoized anyway — see [`is_transient`]).
+fn fold_sat_options(h: &mut StableHasher, opts: &SatOptions) {
+    h.byte(b'S');
+    h.u64(opts.conflict_limit);
+    h.u64(opts.propagation_limit);
+    h.opt_u64(
+        opts.time_limit
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+    );
+    h.u64(u64::from(opts.max_ii_factor));
+    h.bool(opts.fallback);
+    h.opt_u64(
+        opts.loop_time_limit
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+    );
+    h.opt_u64(opts.loop_conflict_limit);
+    h.u64(opts.max_ops as u64);
+}
+
+fn fold_portfolio_options(h: &mut StableHasher, opts: &PortfolioOptions) {
+    h.byte(b'P');
+    h.bool(opts.use_ilp);
+    h.bool(opts.use_sat);
+    h.bool(opts.use_heur);
+    fold_most_options(h, &opts.most);
+    fold_sat_options(h, &opts.sat);
+    fold_heur_options(h, &opts.heur);
+}
+
 fn fold_chaos(h: &mut StableHasher, chaos: &ChaosOptions) {
     h.byte(b'C');
     for f in &chaos.faults {
@@ -202,6 +236,7 @@ fn fold_chaos(h: &mut StableHasher, chaos: &ChaosOptions) {
 fn fold_ladder_options(h: &mut StableHasher, opts: &LadderOptions) {
     h.byte(b'L');
     fold_most_options(h, &opts.most);
+    fold_sat_options(h, &opts.sat);
     fold_heur_options(h, &opts.heur);
     h.u64(u64::from(opts.escalation_rounds));
     // A demoted (lower-start) compile is a different artifact from a full
@@ -230,8 +265,12 @@ fn fold_choice(h: &mut StableHasher, choice: &SchedulerChoice) {
         SchedulerChoice::HeuristicWith(opts) => fold_heur_options(h, opts),
         SchedulerChoice::Ilp => fold_most_options(h, &MostOptions::default()),
         SchedulerChoice::IlpWith(opts) => fold_most_options(h, opts),
+        SchedulerChoice::Sat => fold_sat_options(h, &SatOptions::default()),
+        SchedulerChoice::SatWith(opts) => fold_sat_options(h, opts),
         SchedulerChoice::Ladder => fold_ladder_options(h, &LadderOptions::default()),
         SchedulerChoice::LadderWith(opts) => fold_ladder_options(h, opts),
+        SchedulerChoice::Portfolio => fold_portfolio_options(h, &PortfolioOptions::default()),
+        SchedulerChoice::PortfolioWith(opts) => fold_portfolio_options(h, opts),
     }
 }
 
@@ -335,6 +374,11 @@ fn is_transient(result: &Result<Arc<CompiledLoop>, CompileError>) -> bool {
         Err(CompileError::Ilp(swp_most::MostError::NoSchedule { deadline_hit, .. })) => {
             *deadline_hit
         }
+        Err(CompileError::Sat(swp_sat::SatError::NoSchedule { deadline_hit, .. })) => *deadline_hit,
+        // A cancelled heuristic search (a losing portfolio racer, or a
+        // caller-owned token) was truncated by something other than its
+        // deterministic budgets — never memoize it.
+        Err(CompileError::Heuristic(swp_heur::PipelineError::Cancelled)) => true,
         Err(CompileError::LadderExhausted { attempts }) => attempts.iter().any(|a| a.deadline_hit),
         Err(_) => false,
     }
@@ -1007,6 +1051,110 @@ mod tests {
             distinct.len(),
             chaos_keys.len(),
             "chaos runs must never collide with quiet results or each other"
+        );
+    }
+
+    #[test]
+    fn sat_and_portfolio_keys_never_alias_the_other_backends() {
+        let m = Machine::r8000();
+        let lp = saxpy("s");
+        // Defaults and explicit defaults alias within a backend…
+        assert_eq!(
+            cache_key(&lp, &m, &SchedulerChoice::Sat),
+            cache_key(&lp, &m, &SchedulerChoice::SatWith(SatOptions::default()))
+        );
+        assert_eq!(
+            cache_key(&lp, &m, &SchedulerChoice::Portfolio),
+            cache_key(&lp, &m, &SchedulerChoice::PortfolioWith(Box::default()))
+        );
+        // …but every backend family keys separately: a SAT or portfolio
+        // record must never be served to (or overwrite) a heuristic, ILP,
+        // or ladder request for the same loop.
+        let keys = [
+            cache_key(&lp, &m, &SchedulerChoice::Heuristic),
+            cache_key(&lp, &m, &SchedulerChoice::Ilp),
+            cache_key(&lp, &m, &SchedulerChoice::Sat),
+            cache_key(&lp, &m, &SchedulerChoice::Ladder),
+            cache_key(&lp, &m, &SchedulerChoice::Portfolio),
+        ];
+        let distinct: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), keys.len(), "backend families collided");
+        // Every deterministic SAT knob separates…
+        let base = cache_key(&lp, &m, &SchedulerChoice::Sat);
+        for tweaked in [
+            SatOptions {
+                conflict_limit: 1234,
+                ..SatOptions::default()
+            },
+            SatOptions {
+                propagation_limit: 1234,
+                ..SatOptions::default()
+            },
+            SatOptions {
+                loop_conflict_limit: Some(1234),
+                ..SatOptions::default()
+            },
+            SatOptions {
+                max_ops: 7,
+                ..SatOptions::default()
+            },
+            SatOptions::default().without_fallback(),
+        ] {
+            assert_ne!(
+                base,
+                cache_key(&lp, &m, &SchedulerChoice::SatWith(tweaked.clone())),
+                "{tweaked:?} aliased the default"
+            );
+        }
+        // …while the cancel token, like telemetry, must NOT: observing or
+        // aborting a compile never changes its identity.
+        let token = swp_obs::CancelToken::new();
+        assert_eq!(
+            base,
+            cache_key(
+                &lp,
+                &m,
+                &SchedulerChoice::SatWith(SatOptions {
+                    cancel: token,
+                    ..SatOptions::default()
+                })
+            )
+        );
+        // Portfolio backend subsets and racer budgets separate too.
+        let pbase = cache_key(&lp, &m, &SchedulerChoice::Portfolio);
+        for tweaked in [
+            PortfolioOptions {
+                use_sat: false,
+                ..PortfolioOptions::default()
+            },
+            PortfolioOptions {
+                use_ilp: false,
+                ..PortfolioOptions::default()
+            },
+            PortfolioOptions {
+                sat: SatOptions {
+                    conflict_limit: 99,
+                    ..SatOptions::default()
+                },
+                ..PortfolioOptions::default()
+            },
+        ] {
+            assert_ne!(
+                pbase,
+                cache_key(&lp, &m, &SchedulerChoice::PortfolioWith(Box::new(tweaked)))
+            );
+        }
+        // The ladder's SAT rung budgets are part of the ladder key.
+        let sat_tweaked_ladder = SchedulerChoice::LadderWith(Box::new(LadderOptions {
+            sat: SatOptions {
+                conflict_limit: 99,
+                ..SatOptions::default()
+            },
+            ..LadderOptions::default()
+        }));
+        assert_ne!(
+            cache_key(&lp, &m, &SchedulerChoice::Ladder),
+            cache_key(&lp, &m, &sat_tweaked_ladder)
         );
     }
 

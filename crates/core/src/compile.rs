@@ -1,6 +1,7 @@
 //! Unified compilation entry points for both pipeliners.
 
 use crate::ladder::{compile_ladder, LadderOptions, Rung, RungAttempt};
+use crate::portfolio::{compile_portfolio, PortfolioOptions};
 use std::time::Instant;
 use swp_codegen::{list_schedule, BaselineLoop, PipelinedLoop};
 use swp_heur::{HeurOptions, PipelineError};
@@ -8,6 +9,7 @@ use swp_ir::{Ddg, Loop, OptLevel, PassManager};
 use swp_machine::Machine;
 use swp_most::{MostError, MostOptions};
 use swp_obs::Telemetry;
+use swp_sat::{SatError, SatOptions};
 use swp_verify::{Finding, VerifyLevel, VerifyReport};
 
 /// Which pipeliner to use.
@@ -22,12 +24,25 @@ pub enum SchedulerChoice {
     Ilp,
     /// The MOST pipeliner with explicit options.
     IlpWith(MostOptions),
-    /// The total-compilation degradation ladder (ILP → heuristic →
+    /// The CDCL difference-logic pipeliner (`swp-sat`) with default
+    /// options — the third optimal backend, searching MOST's horizon.
+    Sat,
+    /// The SAT pipeliner with explicit options.
+    SatWith(SatOptions),
+    /// The total-compilation degradation ladder (ILP → SAT → heuristic →
     /// escalated heuristic → sequential) with default options.
     Ladder,
     /// The degradation ladder with explicit options (boxed: ladder
-    /// options carry both schedulers' configurations plus a chaos plan).
+    /// options carry every scheduler's configuration plus a chaos plan).
     LadderWith(Box<LadderOptions>),
+    /// Race the enabled backends on scoped threads and ship the
+    /// highest-priority success (ILP > SAT > heuristic), with default
+    /// options. Deterministic: the winner is chosen by fixed priority at
+    /// join, never by wall clock.
+    Portfolio,
+    /// The portfolio with explicit options (boxed: it carries all three
+    /// backends' configurations).
+    PortfolioWith(Box<PortfolioOptions>),
 }
 
 /// Full compile configuration: which pipeliner, and how much independent
@@ -95,10 +110,12 @@ pub struct CompileStats {
     pub fell_back: bool,
     /// Whether the ILP search certified rate-optimality at MinII.
     pub optimal: bool,
-    /// Branch-and-bound nodes (ILP) or backtracks (heuristic).
+    /// Branch-and-bound nodes (ILP), CDCL conflicts (SAT), or backtracks
+    /// (heuristic) — the coarse deterministic work measure.
     pub search_effort: u64,
-    /// Simplex pivots across all ILP solves (0 for the heuristic). The
-    /// deterministic fine-grained work measure behind `pivot_limit`.
+    /// Simplex pivots across all ILP solves, or unit propagations across
+    /// all SAT solves (0 for the heuristic). The deterministic
+    /// fine-grained work measure behind `pivot_limit`.
     pub pivots: u64,
     /// Whether a wall-clock deadline truncated the search *or* the
     /// mid-end pass pipeline. Such results depend on host load; the
@@ -132,6 +149,8 @@ pub enum CompileError {
     Heuristic(PipelineError),
     /// The ILP pipeliner (and its fallback) failed.
     Ilp(MostError),
+    /// The SAT pipeliner (and its fallback) failed.
+    Sat(SatError),
     /// A compiler invariant broke (a caught panic or an impossible
     /// state). The structured form of what used to unwind: the job fails,
     /// the pool and the rest of the suite do not.
@@ -157,6 +176,7 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Heuristic(e) => write!(f, "heuristic pipeliner: {e}"),
             CompileError::Ilp(e) => write!(f, "ILP pipeliner: {e}"),
+            CompileError::Sat(e) => write!(f, "SAT pipeliner: {e}"),
             CompileError::Internal { rung, message } => match rung {
                 Some(r) => write!(f, "internal compiler error at {r}: {message}"),
                 None => write!(f, "internal compiler error: {message}"),
@@ -195,8 +215,12 @@ pub fn compile_loop(
         SchedulerChoice::HeuristicWith(opts) => compile_heur(lp, machine, opts),
         SchedulerChoice::Ilp => compile_ilp(lp, machine, &MostOptions::default()),
         SchedulerChoice::IlpWith(opts) => compile_ilp(lp, machine, opts),
+        SchedulerChoice::Sat => compile_sat(lp, machine, &SatOptions::default()),
+        SchedulerChoice::SatWith(opts) => compile_sat(lp, machine, opts),
         SchedulerChoice::Ladder => compile_ladder(lp, machine, &LadderOptions::default()),
         SchedulerChoice::LadderWith(opts) => compile_ladder(lp, machine, opts),
+        SchedulerChoice::Portfolio => compile_portfolio(lp, machine, &PortfolioOptions::default()),
+        SchedulerChoice::PortfolioWith(opts) => compile_portfolio(lp, machine, opts),
     }
 }
 
@@ -356,11 +380,23 @@ fn opt_deadline(choice: &SchedulerChoice) -> Option<Instant> {
             d.loop_time_limit.or(d.time_limit)
         }
         SchedulerChoice::IlpWith(opts) => opts.loop_time_limit.or(opts.time_limit),
+        SchedulerChoice::Sat => {
+            let d = SatOptions::default();
+            d.loop_time_limit.or(d.time_limit)
+        }
+        SchedulerChoice::SatWith(opts) => opts.loop_time_limit.or(opts.time_limit),
         SchedulerChoice::Ladder => {
             let d = LadderOptions::default();
             d.most.loop_time_limit.or(d.most.time_limit)
         }
         SchedulerChoice::LadderWith(opts) => opts.most.loop_time_limit.or(opts.most.time_limit),
+        // The portfolio's wall budget is its highest-priority racer's:
+        // ILP is never cancelled, so its allowance bounds the race.
+        SchedulerChoice::Portfolio => {
+            let d = PortfolioOptions::default();
+            d.most.loop_time_limit.or(d.most.time_limit)
+        }
+        SchedulerChoice::PortfolioWith(opts) => opts.most.loop_time_limit.or(opts.most.time_limit),
     };
     budget.map(|d| Instant::now() + d)
 }
@@ -466,6 +502,40 @@ pub(crate) fn compile_ilp(
             optimal: p.stats.optimal_ii,
             search_effort: p.stats.nodes,
             pivots: p.stats.pivots,
+            deadline_hit: p.stats.deadline_hit,
+            opt_passes: Vec::new(),
+            spills: 0,
+            driver_threads: crate::par::driver_threads_hint(),
+            sched_ns: pipeline_ns.saturating_sub(p.stats.alloc_ns),
+            alloc_ns: p.stats.alloc_ns,
+            expand_ns,
+        },
+        audit: None,
+        rung: None,
+        attempts: Vec::new(),
+    })
+}
+
+pub(crate) fn compile_sat(
+    lp: &Loop,
+    machine: &Machine,
+    opts: &SatOptions,
+) -> Result<CompiledLoop, CompileError> {
+    let (pipelined, pipeline_ns) =
+        swp_obs::timed_ns("sched.sat", || swp_sat::pipeline_sat(lp, machine, opts));
+    let p = pipelined.map_err(CompileError::Sat)?;
+    let (code, expand_ns) = swp_obs::timed_ns("expand", || {
+        PipelinedLoop::expand(&p.body, &p.schedule, &p.allocation)
+    });
+    Ok(CompiledLoop {
+        code,
+        stats: CompileStats {
+            min_ii: p.stats.min_ii,
+            ii: p.schedule.ii(),
+            fell_back: p.stats.fell_back,
+            optimal: p.stats.optimal_ii,
+            search_effort: p.stats.conflicts,
+            pivots: p.stats.propagations,
             deadline_hit: p.stats.deadline_hit,
             opt_passes: Vec::new(),
             spills: 0,

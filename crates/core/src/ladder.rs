@@ -9,11 +9,19 @@
 //! | rung | scheduler                          | failure mode it absorbs            |
 //! |------|------------------------------------|------------------------------------|
 //! | 0    | MOST ILP (no internal fallback)    | budget/deadline exhaustion         |
-//! | 1    | heuristic modulo scheduler         | ILP intractability                 |
-//! | 2    | heuristic, escalated budgets       | backtrack-starved or MaxII-bound   |
-//! | 3    | non-pipelined list schedule        | — (total on any lint-clean loop)   |
+//! | 1    | CDCL SAT (no internal fallback)    | ILP-shaped intractability          |
+//! | 2    | heuristic modulo scheduler         | optimal-search intractability      |
+//! | 3    | heuristic, escalated budgets       | backtrack-starved or MaxII-bound   |
+//! | 4    | non-pipelined list schedule        | — (total on any lint-clean loop)   |
 //!
-//! Rung 3 views the §4.1 list schedule as a degenerate modulo schedule
+//! The SAT rung sits between ILP and the heuristic because it searches
+//! the same horizon with the same optimality guarantee but a different
+//! search engine: conflicts that starve branch-and-bound (fractional LP
+//! relaxations, deep pivot chains) are sometimes dispatched in a handful
+//! of learned clauses, so a loop the ILP budget cannot crack may still
+//! get an optimal schedule before the ladder concedes rate-optimality.
+//!
+//! Rung 4 views the §4.1 list schedule as a degenerate modulo schedule
 //! whose II is the full sequential iteration length. At that II every
 //! loop-carried dependence is slack by construction (`t(to) ≥ t(from) +
 //! latency − distance·II` holds because `distance·II` covers the whole
@@ -37,13 +45,16 @@
 //! *demonstrated*, not assumed; `experiments chaos -D` denies on any
 //! injected fault escaping its rung.
 
-use crate::compile::{compile_heur, compile_ilp, CompileError, CompileStats, CompiledLoop};
+use crate::compile::{
+    compile_heur, compile_ilp, compile_sat, CompileError, CompileStats, CompiledLoop,
+};
 use swp_codegen::{list_schedule, CodeSection, PipelinedLoop};
 use swp_heur::HeurOptions;
 use swp_ir::{Ddg, Loop, Schedule};
 use swp_machine::Machine;
 use swp_most::{MostError, MostOptions};
 use swp_regalloc::{allocate, AllocOutcome};
+use swp_sat::{SatError, SatOptions};
 use swp_verify::{Severity, VerifyLevel};
 
 /// One rung of the degradation ladder, most aggressive first.
@@ -51,20 +62,24 @@ use swp_verify::{Severity, VerifyLevel};
 pub enum Rung {
     /// Rung 0: the MOST ILP pipeliner with its internal fallback off.
     Ilp,
-    /// Rung 1: the heuristic modulo scheduler at its configured budgets.
+    /// Rung 1: the CDCL SAT pipeliner (same horizon, same optimality
+    /// certificate, different search engine) with its fallback off.
+    Sat,
+    /// Rung 2: the heuristic modulo scheduler at its configured budgets.
     Heuristic,
-    /// Rung 2: the heuristic with exponentially escalated deterministic
+    /// Rung 3: the heuristic with exponentially escalated deterministic
     /// budgets (backtracks ×4 and MaxII +1·MinII per round).
     Escalated,
-    /// Rung 3: the non-pipelined list schedule at II = sequential
+    /// Rung 4: the non-pipelined list schedule at II = sequential
     /// iteration length. Total on lint-clean loops.
     Sequential,
 }
 
 impl Rung {
     /// Every rung, demotion order.
-    pub const ALL: [Rung; 4] = [
+    pub const ALL: [Rung; 5] = [
         Rung::Ilp,
+        Rung::Sat,
         Rung::Heuristic,
         Rung::Escalated,
         Rung::Sequential,
@@ -74,9 +89,10 @@ impl Rung {
     pub fn index(self) -> usize {
         match self {
             Rung::Ilp => 0,
-            Rung::Heuristic => 1,
-            Rung::Escalated => 2,
-            Rung::Sequential => 3,
+            Rung::Sat => 1,
+            Rung::Heuristic => 2,
+            Rung::Escalated => 3,
+            Rung::Sequential => 4,
         }
     }
 
@@ -84,6 +100,7 @@ impl Rung {
     pub fn name(self) -> &'static str {
         match self {
             Rung::Ilp => "ilp",
+            Rung::Sat => "sat",
             Rung::Heuristic => "heuristic",
             Rung::Escalated => "escalated",
             Rung::Sequential => "sequential",
@@ -130,7 +147,7 @@ pub enum ChaosFault {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChaosOptions {
     /// At most one fault per rung, indexed by [`Rung::index`].
-    pub faults: [Option<ChaosFault>; 4],
+    pub faults: [Option<ChaosFault>; 5],
     /// Panic at compile entry, *outside* rung isolation. This models the
     /// escape the per-rung `catch_unwind` cannot see and exercises the
     /// outer containment layers: [`crate::Driver`] converts it to
@@ -164,9 +181,12 @@ pub struct LadderOptions {
     /// the rung runs ([`MostOptions::without_fallback`]); demotion is the
     /// ladder's job.
     pub most: MostOptions,
-    /// Rung-1 configuration; rung 2 escalates from it.
+    /// Rung-1 budgets ([`SatOptions::without_fallback`] applies, as for
+    /// the ILP rung).
+    pub sat: SatOptions,
+    /// Rung-2 configuration; rung 3 escalates from it.
     pub heur: HeurOptions,
-    /// Rung-2 escalation rounds ([`HeurOptions::escalated`] 1..=N).
+    /// Rung-3 escalation rounds ([`HeurOptions::escalated`] 1..=N).
     pub escalation_rounds: u32,
     /// Audit level of the per-rung verify gate. The gate always runs —
     /// a ladder compile carries its report regardless of the outer
@@ -187,6 +207,7 @@ impl Default for LadderOptions {
     fn default() -> LadderOptions {
         LadderOptions {
             most: MostOptions::default(),
+            sat: SatOptions::default(),
             heur: HeurOptions::default(),
             escalation_rounds: 3,
             gate: VerifyLevel::Full,
@@ -216,6 +237,14 @@ impl LadderOptions {
                 );
                 opts.most.pivot_limit = opts.most.pivot_limit.clamp(1, 100_000);
                 opts.most.node_limit = opts.most.node_limit.clamp(1, 2_000);
+                // Leash the SAT rung by the same factor, in its own
+                // deterministic currency.
+                opts.sat.loop_conflict_limit = Some(
+                    opts.sat
+                        .loop_conflict_limit
+                        .map_or(25_000, |c| (c / 8).max(1)),
+                );
+                opts.sat.conflict_limit = opts.sat.conflict_limit.clamp(1, 25_000);
             }
             _ => {
                 opts.start_rung = Rung::Heuristic;
@@ -396,7 +425,7 @@ pub fn compile_ladder(
     );
     // Lint once, up front. Error lints mean the input itself is invalid:
     // no rung's output could pass a gate that includes them, so record a
-    // single rejection instead of burning four rungs' budgets.
+    // single rejection instead of burning five rungs' budgets.
     let lints = if opts.gate == VerifyLevel::Full {
         swp_verify::lint_findings(lp, machine)
     } else {
@@ -539,6 +568,7 @@ fn attempt_rung(
     }
     let result = match rung {
         Rung::Ilp => compile_ilp(lp, machine, &opts.most.without_fallback()),
+        Rung::Sat => compile_sat(lp, machine, &opts.sat.without_fallback()),
         Rung::Heuristic => compile_heur(lp, machine, &opts.heur),
         Rung::Escalated => {
             let mut last = None;
@@ -566,6 +596,9 @@ fn attempt_rung(
             let deadline_hit = matches!(
                 &e,
                 CompileError::Ilp(MostError::NoSchedule {
+                    deadline_hit: true,
+                    ..
+                }) | CompileError::Sat(SatError::NoSchedule {
                     deadline_hit: true,
                     ..
                 })
@@ -705,6 +738,15 @@ mod tests {
                 max_ops: 64,
                 ..MostOptions::default()
             },
+            sat: SatOptions {
+                conflict_limit: 20_000,
+                propagation_limit: 2_000_000,
+                time_limit: None,
+                loop_time_limit: None,
+                loop_conflict_limit: Some(60_000),
+                max_ops: 64,
+                ..SatOptions::default()
+            },
             ..LadderOptions::default()
         }
     }
@@ -738,7 +780,7 @@ mod tests {
             ..quick()
         };
         let c = compile_ladder(&saxpy(), &m, &opts).expect("total");
-        assert_eq!(c.rung, Some(Rung::Heuristic));
+        assert_eq!(c.rung, Some(Rung::Sat));
         assert!(matches!(c.attempts[0].outcome, RungOutcome::Panicked(_)));
         assert_eq!(c.attempts[0].injected, Some(ChaosFault::Panic));
         assert!(!c.attempts[0].escaped(), "panic was contained");
@@ -759,13 +801,14 @@ mod tests {
             let opts = LadderOptions {
                 chaos: ChaosOptions::default()
                     .with_fault(Rung::Ilp, fault)
+                    .with_fault(Rung::Sat, fault)
                     .with_fault(Rung::Heuristic, fault)
                     .with_fault(Rung::Escalated, fault),
                 ..quick()
             };
-            let c = compile_ladder(&saxpy(), &m, &opts).expect("rung 3 is total");
+            let c = compile_ladder(&saxpy(), &m, &opts).expect("rung 4 is total");
             assert_eq!(c.rung, Some(Rung::Sequential), "{fault:?}");
-            assert_eq!(c.attempts.len(), 4);
+            assert_eq!(c.attempts.len(), 5);
             assert!(
                 c.attempts.iter().all(|a| !a.escaped()),
                 "{fault:?} escaped:\n{}",
@@ -791,15 +834,19 @@ mod tests {
                 ChaosFault::Corrupt(Corruption::NegativeTime),
             ),
             most: MostOptions {
-                // Push rung 0 out of the way deterministically.
+                // Push rungs 0 and 1 out of the way deterministically.
                 max_ops: 0,
                 ..quick().most
+            },
+            sat: SatOptions {
+                max_ops: 0,
+                ..quick().sat
             },
             ..quick()
         };
         let c = compile_ladder(&saxpy(), &m, &opts).expect("total");
         assert!(matches!(
-            c.attempts[1].outcome,
+            c.attempts[2].outcome,
             RungOutcome::GateRejected { errors } if errors > 0
         ));
         assert_eq!(c.rung, Some(Rung::Escalated));
@@ -820,12 +867,16 @@ mod tests {
                 max_ops: 0,
                 ..quick().most
             },
+            sat: SatOptions {
+                max_ops: 0,
+                ..quick().sat
+            },
             ..quick()
         };
         let c = compile_ladder(&saxpy(), &m, &opts).expect("compiles");
         assert_eq!(c.rung, Some(Rung::Heuristic));
         assert!(
-            c.attempts[1].escaped(),
+            c.attempts[2].escaped(),
             "without the gate the corruption ships — and the trace says so"
         );
     }

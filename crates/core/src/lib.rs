@@ -12,6 +12,9 @@
 //!   integer-linear-programming formulation solved by the built-in
 //!   [`swp_ilp`] simplex/branch-and-bound solver, with the study's three
 //!   adjustments and the heuristic pipeliner as fallback;
+//! - [`swp_sat`]: a third optimal backend — a CDCL difference-logic
+//!   scheduler searching MOST's horizon, raced against the other two by
+//!   [`SchedulerChoice::Portfolio`];
 //! - [`swp_machine`]/[`swp_sim`]: an R8000-like machine model and a
 //!   cycle-accurate simulator including the two-banked cache and its
 //!   bellows queue;
@@ -54,6 +57,7 @@ mod compare;
 mod compile;
 mod ladder;
 mod par;
+mod portfolio;
 mod suite;
 
 pub use cache::{cache_key, cache_key_with, CacheStats, ScheduleCache};
@@ -67,19 +71,20 @@ pub use ladder::{
     LadderOptions, Rung, RungAttempt, RungOutcome,
 };
 pub use par::{Driver, JobPanic};
+pub use portfolio::{compile_portfolio, PortfolioOptions};
 pub use suite::{
     audit_suite_with, geometric_mean, ladder_suite_with, run_suite, run_suite_baseline,
     run_suite_baseline_with, run_suite_with, LadderLoopReport, LadderSuccess, LoopAudit,
     SuiteAudit, SuiteLadder, SuiteResult,
 };
 pub use swp_ir::{OptFinding, OptLevel, OptOutcome, PassManager};
-pub use swp_obs::{Counter, CounterSnapshot, Histo, HistogramSnapshot, Telemetry};
+pub use swp_obs::{CancelToken, Counter, CounterSnapshot, Histo, HistogramSnapshot, Telemetry};
 pub use swp_verify::{Finding, Severity, VerifyLevel, VerifyReport};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use {
     swp_codegen, swp_heur, swp_ilp, swp_ir, swp_kernels, swp_machine, swp_most, swp_obs,
-    swp_regalloc, swp_sim, swp_verify,
+    swp_regalloc, swp_sat, swp_sim, swp_verify,
 };
 
 #[cfg(test)]

@@ -249,8 +249,8 @@ pub struct SuiteLadder {
 
 impl SuiteLadder {
     /// How many loops each rung rescued, indexed by [`Rung::index`].
-    pub fn rung_usage(&self) -> [usize; 4] {
-        let mut usage = [0; 4];
+    pub fn rung_usage(&self) -> [usize; 5] {
+        let mut usage = [0; 5];
         for l in &self.loops {
             if let Ok(s) = &l.outcome {
                 usage[s.rung.index()] += 1;

@@ -252,7 +252,9 @@ impl<'a> State<'a> {
 /// [`crate::postpass::adjust_pipestages`].
 ///
 /// `budget` caps backtracks; `pairing` enables the §2.9 memory-bank
-/// heuristics.
+/// heuristics. `cancel` is polled once per placement/backtrack step — the
+/// same granularity at which the ILP backend polls its wall-clock deadline
+/// — so a losing portfolio racer abandons the search promptly.
 #[allow(clippy::too_many_arguments)]
 pub fn schedule_at(
     lp: &Loop,
@@ -262,6 +264,7 @@ pub fn schedule_at(
     order: &[OpId],
     budget: u32,
     mut pairing: Option<&mut PairingContext>,
+    cancel: &swp_obs::CancelToken,
     stats: &mut AttemptStats,
 ) -> Option<Vec<i64>> {
     let lpaths = LongestPaths::compute(ddg, ii)?;
@@ -273,6 +276,9 @@ pub fn schedule_at(
     let mut min_cycle: Option<i64> = None;
 
     while i < n {
+        if cancel.is_cancelled() {
+            return None;
+        }
         if st.placed[i].is_some() {
             // Already placed out of order by the pairing hook.
             i += 1;
@@ -463,7 +469,17 @@ mod tests {
         let ddg = Ddg::build(lp, &m);
         let order = priority_list(lp, &ddg, &m, PriorityHeuristic::Fdms);
         let mut stats = AttemptStats::default();
-        schedule_at(lp, &ddg, &m, ii, &order, 400, None, &mut stats)
+        schedule_at(
+            lp,
+            &ddg,
+            &m,
+            ii,
+            &order,
+            400,
+            None,
+            &swp_obs::CancelToken::never(),
+            &mut stats,
+        )
     }
 
     #[test]
@@ -548,7 +564,17 @@ mod tests {
         let min_ii = ddg.min_ii();
         let order = priority_list(&lp, &ddg, &m, PriorityHeuristic::Hms);
         let mut stats = AttemptStats::default();
-        let result = schedule_at(&lp, &ddg, &m, min_ii, &order, 1000, None, &mut stats);
+        let result = schedule_at(
+            &lp,
+            &ddg,
+            &m,
+            min_ii,
+            &order,
+            1000,
+            None,
+            &swp_obs::CancelToken::never(),
+            &mut stats,
+        );
         assert!(
             result.is_some(),
             "budget allows a schedule at MinII={min_ii}"

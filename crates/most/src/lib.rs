@@ -83,6 +83,11 @@ pub struct MostOptions {
     /// reports MOST's practical ceiling at 61 operations; beyond it the
     /// solves only burn their full budgets before failing.
     pub max_ops: usize,
+    /// Cooperative cancellation, polled per simplex pivot batch (the same
+    /// granularity as `time_limit`). A cancelled search reports
+    /// `deadline_hit` so the schedule cache never memoizes it. Not part
+    /// of the cache key.
+    pub cancel: swp_obs::CancelToken,
 }
 
 impl Default for MostOptions {
@@ -98,6 +103,7 @@ impl Default for MostOptions {
             loop_time_limit: Some(Duration::from_secs(180)),
             loop_pivot_limit: None,
             max_ops: 80,
+            cancel: swp_obs::CancelToken::never(),
         }
     }
 }
@@ -244,7 +250,7 @@ pub fn pipeline_most(
     let started = Instant::now();
     let loop_deadline = opts.loop_time_limit.map(|d| started + d);
     for ii in min_ii..=max_ii {
-        if loop_deadline.is_some_and(|d| Instant::now() >= d) {
+        if opts.cancel.is_cancelled() || loop_deadline.is_some_and(|d| Instant::now() >= d) {
             stats.deadline_hit = true;
             break;
         }
@@ -307,7 +313,11 @@ fn fallback_or_fail(
     deadline_hit: bool,
 ) -> Result<MostPipelined, MostError> {
     if opts.fallback {
-        if let Ok(h) = swp_heur::pipeline(lp, machine, &HeurOptions::default()) {
+        let heur_opts = HeurOptions {
+            cancel: opts.cancel.clone(),
+            ..HeurOptions::default()
+        };
+        if let Ok(h) = swp_heur::pipeline(lp, machine, &heur_opts) {
             swp_obs::count(swp_obs::Counter::MostFallbacks, 1);
             let stats = MostStats {
                 fell_back: true,
@@ -356,6 +366,7 @@ fn solve_at_ii(
             // SolveOptions docs).
             branch_groups: Some(feas_model.branch_groups(order)),
             branch_up_first: true,
+            cancel: opts.cancel.clone(),
             ..SolveOptions::default()
         };
         stats.solves += 1;
@@ -397,6 +408,7 @@ fn solve_at_ii(
             branch_order: Some(buf_model.branch_order(order)),
             branch_groups: Some(buf_model.branch_groups(order)),
             branch_up_first: true,
+            cancel: opts.cancel.clone(),
             // Seed the search with the feasibility schedule (extended by
             // its implied buffer counts — the two models share the
             // schedule-variable prefix): the solve starts with an

@@ -83,6 +83,22 @@ counters! {
     // swp-most: the optimal scheduler's II ladder.
     MostIiSteps => ("most.ii_steps", "most", Exact),
     MostFallbacks => ("most.fallbacks", "most", Exact),
+    // swp-sat: the CDCL difference-logic scheduler's II ladder.
+    SatIiSteps => ("sat.ii_steps", "sat", Exact),
+    SatDecisions => ("sat.decisions", "sat", Exact),
+    SatConflicts => ("sat.conflicts", "sat", Exact),
+    SatPropagations => ("sat.propagations", "sat", Exact),
+    SatRestarts => ("sat.restarts", "sat", Exact),
+    SatLearnedLiterals => ("sat.learned_literals", "sat", Exact),
+    SatFallbacks => ("sat.fallbacks", "sat", Exact),
+    // swp-core portfolio racing. The winner tallies are Exact because the
+    // winner is chosen by fixed backend priority at join, never by wall
+    // clock — identical inputs crown identical winners at any --threads N.
+    PortfolioRaces => ("portfolio.races", "portfolio", Exact),
+    PortfolioWinnerIlp => ("portfolio.winner.ilp", "portfolio", Exact),
+    PortfolioWinnerSat => ("portfolio.winner.sat", "portfolio", Exact),
+    PortfolioWinnerHeuristic => ("portfolio.winner.heuristic", "portfolio", Exact),
+    PortfolioCancellations => ("portfolio.cancellations", "portfolio", Timing),
     // swp-core cache.
     CacheHits => ("cache.hits", "cache", Exact),
     CacheMisses => ("cache.misses", "cache", Exact),

@@ -1,0 +1,110 @@
+//! Register-pressure compaction of a satisfying assignment — the SAT
+//! backend's analogue of MOST's buffer-minimization objective (§3.3
+//! adjustment 2).
+//!
+//! A CDCL model is an arbitrary feasible point: the greedy phase-true
+//! descent tends to scatter operations across pipeline stages, and the
+//! resulting def-use spans translate directly into FIFO buffers the
+//! coloring allocator must realize as live ranges. MOST fixes this with a
+//! second ILP solve minimizing `Σ b_v`; solving a second optimization
+//! problem inside the SAT backend would double its budget, so we descend
+//! locally instead: each op moves within its dependence slack toward the
+//! direction that shrinks the summed spans of its register flow edges,
+//! one op at a time, only to resource-feasible slots, until a fixpoint.
+//! Every intermediate point is a valid schedule, so the pass is sound by
+//! construction and deterministic by fixed iteration order.
+
+use crate::encode::Instance;
+use swp_ir::{Ddg, DepKind};
+
+/// Maximum descent sweeps; in practice 2–3 reach the fixpoint.
+const MAX_PASSES: usize = 8;
+
+/// Shrink register-flow def-use spans of `times` in place.
+pub(crate) fn compact(inst: &Instance, ddg: &Ddg, times: &mut [i64]) {
+    let n = inst.n_ops;
+    // d(cost)/d(t_i) = (register uses feeding i) − (register defs flowing
+    // out of i): positive gradient wants the op earlier, negative later.
+    let mut gradient = vec![0i64; n];
+    for e in ddg.edges() {
+        if e.from == e.to {
+            continue;
+        }
+        if let DepKind::Data(_) = e.kind {
+            gradient[e.to.index()] += 1;
+            gradient[e.from.index()] -= 1;
+        }
+    }
+
+    // Current modulo-resource usage of the assignment.
+    let mut used: Vec<u32> = vec![0; inst.groups.len()];
+    for (i, &t) in times.iter().enumerate() {
+        for &(g, mult) in &inst.groups_of_var[inst.var_at(i, t) as usize] {
+            used[g as usize] += mult;
+        }
+    }
+
+    for _ in 0..MAX_PASSES {
+        let mut moved = false;
+        for i in 0..n {
+            if gradient[i] == 0 {
+                continue;
+            }
+            // Dependence slack around op i with every other op fixed.
+            let (mut lo, mut hi) = inst.windows[i];
+            for &(a, w) in &inst.pred[i] {
+                if a as usize != i {
+                    lo = lo.max(times[a as usize] + w);
+                }
+            }
+            for &(b, w) in &inst.succ[i] {
+                if b as usize != i {
+                    hi = hi.min(times[b as usize] - w);
+                }
+            }
+            let t = times[i];
+            debug_assert!(lo <= t && t <= hi, "current time must be feasible");
+            // Walk from the far end toward the current slot; the first
+            // resource-feasible slot is the largest improvement.
+            let candidates: Box<dyn Iterator<Item = i64>> = if gradient[i] > 0 {
+                Box::new(lo..t)
+            } else {
+                Box::new((t + 1..=hi).rev())
+            };
+            for t2 in candidates {
+                if try_move(inst, &mut used, i, t, t2) {
+                    times[i] = t2;
+                    moved = true;
+                    break;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Move op `i` from `t` to `t2` if the target rows have capacity;
+/// updates `used` and reports success.
+fn try_move(inst: &Instance, used: &mut [u32], i: usize, t: i64, t2: i64) -> bool {
+    let from = &inst.groups_of_var[inst.var_at(i, t) as usize];
+    let to = &inst.groups_of_var[inst.var_at(i, t2) as usize];
+    for &(g, mult) in from {
+        used[g as usize] -= mult;
+    }
+    let fits = to
+        .iter()
+        .all(|&(g, mult)| used[g as usize] + mult <= inst.groups[g as usize].units);
+    if fits {
+        for &(g, mult) in to {
+            used[g as usize] += mult;
+        }
+        true
+    } else {
+        for &(g, mult) in from {
+            used[g as usize] += mult;
+        }
+        false
+    }
+}

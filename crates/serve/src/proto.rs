@@ -115,17 +115,30 @@ impl From<std::io::Error> for ProtoError {
 /// direct choices exist for experiments that bypass degradation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireChoice {
-    /// The full degradation ladder (ILP → heuristic → escalated →
+    /// The full degradation ladder (ILP → SAT → heuristic → escalated →
     /// sequential), subject to admission-control demotion.
     Ladder,
     /// The heuristic pipeliner only.
     Heuristic,
     /// The ILP scheduler with quick budgets (demotable under load).
     Ilp,
+    /// The CDCL SAT scheduler with quick budgets (demotable under load).
+    Sat,
+    /// Race ILP, SAT, and the heuristic; fixed-priority winner. The
+    /// race outcome is deterministic, so results are cacheable.
+    Portfolio,
 }
 
 impl WireChoice {
-    const ALL: [WireChoice; 3] = [WireChoice::Ladder, WireChoice::Heuristic, WireChoice::Ilp];
+    // Wire encoding is the position in this array; new choices must be
+    // appended so existing clients' indices stay stable.
+    const ALL: [WireChoice; 5] = [
+        WireChoice::Ladder,
+        WireChoice::Heuristic,
+        WireChoice::Ilp,
+        WireChoice::Sat,
+        WireChoice::Portfolio,
+    ];
 }
 
 /// A batch of loops one client submits in a single frame.

@@ -27,9 +27,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use showdown::swp_most::MostOptions;
+use showdown::swp_sat::SatOptions;
 use showdown::{
-    cache_key_with, CacheStats, CompileOptions, CompiledLoop, LadderOptions, ScheduleCache,
-    SchedulerChoice, Telemetry,
+    cache_key_with, CacheStats, CompileOptions, CompiledLoop, LadderOptions, PortfolioOptions,
+    ScheduleCache, SchedulerChoice, Telemetry,
 };
 use swp_ir::Loop;
 use swp_machine::{Machine, RegClass};
@@ -58,11 +59,37 @@ pub fn quick_most_options() -> MostOptions {
     }
 }
 
+/// Deterministic quick-effort SAT budgets, mirroring
+/// [`quick_most_options`]: conflict/propagation caps only, no wall
+/// clocks, so a served SAT schedule replays bit-identically anywhere.
+pub fn quick_sat_options() -> SatOptions {
+    SatOptions {
+        conflict_limit: 20_000,
+        propagation_limit: 2_000_000,
+        time_limit: None,
+        loop_time_limit: None,
+        loop_conflict_limit: Some(60_000),
+        max_ops: 64,
+        ..SatOptions::default()
+    }
+}
+
 /// The service's base ladder: quick deterministic budgets, full gate.
 pub fn quick_ladder_options() -> LadderOptions {
     LadderOptions {
         most: quick_most_options(),
+        sat: quick_sat_options(),
         ..LadderOptions::default()
+    }
+}
+
+/// The service's portfolio: every backend on quick deterministic
+/// budgets, so the fixed-priority race outcome is host-independent.
+pub fn quick_portfolio_options() -> PortfolioOptions {
+    PortfolioOptions {
+        most: quick_most_options(),
+        sat: quick_sat_options(),
+        ..PortfolioOptions::default()
     }
 }
 
@@ -411,6 +438,40 @@ fn scheduler_for(req: &RequestBatch, demotion: u32) -> SchedulerChoice {
                 most.loop_time_limit = Some(d);
             }
             SchedulerChoice::IlpWith(most)
+        }
+        WireChoice::Sat => {
+            if demotion >= 2 {
+                return SchedulerChoice::Heuristic;
+            }
+            let mut sat = quick_sat_options();
+            if demotion == 1 {
+                sat.loop_conflict_limit = Some(15_000);
+                sat.conflict_limit = sat.conflict_limit.min(5_000);
+            }
+            if let Some(d) = deadline {
+                sat.loop_time_limit = Some(d);
+            }
+            SchedulerChoice::SatWith(sat)
+        }
+        WireChoice::Portfolio => {
+            if demotion >= 2 {
+                return SchedulerChoice::Heuristic;
+            }
+            let mut opts = quick_portfolio_options();
+            if demotion == 1 {
+                // Shed the optimal racers' effort, keep the heuristic
+                // at full strength: the race still ships something.
+                opts.most.loop_pivot_limit = Some(100_000);
+                opts.most.pivot_limit = opts.most.pivot_limit.min(100_000);
+                opts.most.node_limit = opts.most.node_limit.min(2_000);
+                opts.sat.loop_conflict_limit = Some(15_000);
+                opts.sat.conflict_limit = opts.sat.conflict_limit.min(5_000);
+            }
+            if let Some(d) = deadline {
+                opts.most.loop_time_limit = Some(d);
+                opts.sat.loop_time_limit = Some(d);
+            }
+            SchedulerChoice::PortfolioWith(Box::new(opts))
         }
     }
 }

@@ -12,11 +12,13 @@ use showdown::{
 use swp_kernels::{random_loop, GenParams};
 use swp_machine::Machine;
 use swp_most::MostOptions;
+use swp_sat::SatOptions;
 use swp_sim::interp::{run_pipelined, run_sequential};
 
-/// Small, fully deterministic ladder budgets: node/pivot counts only, no
-/// wall clocks, and a 12-op ceiling on rung 0 so large random loops
-/// demote instantly instead of grinding the ILP solver in debug builds.
+/// Small, fully deterministic ladder budgets: node/pivot/conflict counts
+/// only, no wall clocks, and a 12-op ceiling on rungs 0–1 so large
+/// random loops demote instantly instead of grinding the optimal
+/// solvers in debug builds.
 fn quick_ladder() -> LadderOptions {
     LadderOptions {
         most: MostOptions {
@@ -27,6 +29,15 @@ fn quick_ladder() -> LadderOptions {
             loop_pivot_limit: Some(60_000),
             max_ops: 12,
             ..MostOptions::default()
+        },
+        sat: SatOptions {
+            conflict_limit: 2_000,
+            propagation_limit: 200_000,
+            time_limit: None,
+            loop_time_limit: None,
+            loop_conflict_limit: Some(6_000),
+            max_ops: 12,
+            ..SatOptions::default()
         },
         escalation_rounds: 2,
         ..LadderOptions::default()
@@ -96,6 +107,7 @@ proptest! {
             let mut opts = quick_ladder();
             opts.chaos = ChaosOptions::default()
                 .with_fault(Rung::Ilp, ChaosFault::Panic)
+                .with_fault(Rung::Sat, ChaosFault::Exhaust)
                 .with_fault(Rung::Heuristic, ChaosFault::Corrupt(Corruption::NegativeTime))
                 .with_fault(Rung::Escalated, ChaosFault::Exhaust);
             let c = compile_ladder(&lp, &m, &opts)
